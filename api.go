@@ -1,0 +1,221 @@
+// Package tkij is a Go implementation of TKIJ — the distributed top-k
+// temporal join algorithm of Pilourdault, Leroy and Amer-Yahia,
+// "Distributed Evaluation of Top-k Temporal Joins" (SIGMOD 2016).
+//
+// TKIJ evaluates n-ary Ranked Temporal Join (RTJ) queries: joins over
+// collections of time intervals whose predicates compare interval
+// endpoints (the Allen algebra plus custom predicates such as
+// justBefore and sparks) and are satisfied to a degree, scored in
+// [0, 1]. A query returns the k best tuples under a monotone
+// aggregation of per-predicate scores.
+//
+// The pipeline has three stages, all executed on an in-process
+// Map-Reduce substrate:
+//
+//  1. Offline, query-independent statistics: time is partitioned into
+//     granules and each collection summarized by a bucket matrix
+//     counting intervals per (start granule, end granule) pair.
+//  2. TopBuckets: query-dependent score bounds are computed per bucket
+//     combination (via an interval branch-and-bound solver standing in
+//     for the paper's constraint solver) and combinations that cannot
+//     contribute a top-k result are pruned with a correctness
+//     certificate.
+//  3. Distributed join: DistributeTopBuckets (DTB) assigns combinations
+//     to reducers — spreading high-scoring results to enable early
+//     termination, capping worst-case load, minimizing replication —
+//     then each reducer evaluates the query locally over R-tree-indexed
+//     buckets and a merge job produces the final top-k.
+//
+// Quickstart:
+//
+//	c1 := tkij.Uniform("C1", 100000, 1)
+//	c2 := tkij.Uniform("C2", 100000, 2)
+//	engine, err := tkij.NewEngine([]*tkij.Collection{c1, c2}, tkij.Options{K: 10})
+//	if err != nil { ... }
+//	q, err := tkij.NewQuery("meets", 2,
+//		[]tkij.Edge{{From: 0, To: 1, Pred: tkij.Meets(tkij.P1)}}, tkij.Avg{})
+//	if err != nil { ... }
+//	report, err := engine.Execute(q)
+//	for _, r := range report.Results {
+//		fmt.Println(r.Score, r.Tuple)
+//	}
+package tkij
+
+import (
+	"io"
+
+	"tkij/internal/core"
+	"tkij/internal/distribute"
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+	"tkij/internal/topbuckets"
+)
+
+// Data model.
+type (
+	// Interval is a closed time interval with integer endpoints.
+	Interval = interval.Interval
+	// Timestamp is a point in time.
+	Timestamp = interval.Timestamp
+	// Collection is a named multiset of intervals (one join input).
+	Collection = interval.Collection
+)
+
+// NewCollection returns a named collection wrapping items.
+func NewCollection(name string, items []Interval) *Collection {
+	return interval.NewCollection(name, items)
+}
+
+// ReadCollection parses the text format (one "id start end" line per
+// interval) from r.
+func ReadCollection(r io.Reader, name string) (*Collection, error) {
+	return interval.ReadText(r, name)
+}
+
+// WriteCollection serializes c to w in the text format.
+func WriteCollection(w io.Writer, c *Collection) error {
+	return interval.WriteText(w, c)
+}
+
+// AvgLength returns the average interval length over the collections —
+// the avg parameter of JustBefore and ShiftMeets.
+func AvgLength(cols ...*Collection) float64 { return interval.AvgLength(cols...) }
+
+// Scoring.
+type (
+	// Params are the (λ, ρ) tolerance parameters of one comparator.
+	Params = scoring.Params
+	// PairParams bundles equals/greater parameters for one predicate.
+	PairParams = scoring.PairParams
+	// Predicate is a scored temporal predicate.
+	Predicate = scoring.Predicate
+	// Aggregator combines per-edge scores into a tuple score; it must be
+	// monotone.
+	Aggregator = scoring.Aggregator
+	// Avg is the paper's normalized-sum aggregator.
+	Avg = scoring.Avg
+	// Sum is the unnormalized sum aggregator.
+	Sum = scoring.Sum
+	// Min scores a tuple by its weakest edge.
+	Min = scoring.Min
+	// WeightedSum is a positive-weight weighted average.
+	WeightedSum = scoring.WeightedSum
+)
+
+// The predicate parameter sets of Table 2. PB is the Boolean special
+// case.
+var (
+	P1 = scoring.P1
+	P2 = scoring.P2
+	P3 = scoring.P3
+	PB = scoring.PB
+)
+
+// Before builds s-before(x, y): x ends before y starts.
+func Before(pp PairParams) *Predicate { return scoring.Before(pp) }
+
+// Equals builds s-equals(x, y): x and y coincide.
+func Equals(pp PairParams) *Predicate { return scoring.Equals(pp) }
+
+// Meets builds s-meets(x, y): y starts when x finishes.
+func Meets(pp PairParams) *Predicate { return scoring.Meets(pp) }
+
+// Overlaps builds s-overlaps(x, y): x starts first, they overlap, y ends
+// last.
+func Overlaps(pp PairParams) *Predicate { return scoring.Overlaps(pp) }
+
+// Contains builds s-contains(x, y): x strictly contains y.
+func Contains(pp PairParams) *Predicate { return scoring.Contains(pp) }
+
+// Starts builds s-starts(x, y): they start together, x ends first.
+func Starts(pp PairParams) *Predicate { return scoring.Starts(pp) }
+
+// FinishedBy builds s-finishedBy(x, y): x starts first, they finish
+// together.
+func FinishedBy(pp PairParams) *Predicate { return scoring.FinishedBy(pp) }
+
+// JustBefore builds s-justBefore(x, y): y follows x within the average
+// interval length avg.
+func JustBefore(pp PairParams, avg float64) *Predicate { return scoring.JustBefore(pp, avg) }
+
+// ShiftMeets builds s-shiftMeets(x, y): y starts one average length
+// after x ends.
+func ShiftMeets(pp PairParams, avg float64) *Predicate { return scoring.ShiftMeets(pp, avg) }
+
+// Sparks builds s-sparks(x, y): y follows x and lasts over 10x longer.
+func Sparks(pp PairParams) *Predicate { return scoring.Sparks(pp) }
+
+// PredicateByName resolves a predicate by name ("meets", "s-meets",
+// "justBefore", ...).
+func PredicateByName(name string, pp PairParams, avg float64) (*Predicate, bool) {
+	return scoring.ByName(name, pp, avg)
+}
+
+// Queries.
+type (
+	// Query is an n-ary RTJ query: a weakly connected oriented simple
+	// graph with scored predicates on edges.
+	Query = query.Query
+	// Edge is one labeled query edge.
+	Edge = query.Edge
+	// QueryEnv carries the dataset-dependent inputs of the Table-1 query
+	// catalog.
+	QueryEnv = query.Env
+)
+
+// NewQuery builds and validates a query.
+func NewQuery(name string, numVertices int, edges []Edge, agg Aggregator) (*Query, error) {
+	return query.New(name, numVertices, edges, agg)
+}
+
+// QueryByName builds one of the paper's Table-1 queries ("Qb,b",
+// "Qo,m", "QjB,jB", ...).
+func QueryByName(name string, env QueryEnv) (*Query, error) {
+	return query.ByName(name, env)
+}
+
+// Execution.
+type (
+	// Engine evaluates RTJ queries over a fixed set of collections,
+	// collecting statistics once and reusing them across queries.
+	Engine = core.Engine
+	// Options configures an Engine; the zero value uses the paper's
+	// defaults (g = 40, k = 100, 24 reducers, loose strategy, DTB).
+	Options = core.Options
+	// Report describes one query execution, including per-phase metrics.
+	Report = core.Report
+	// Result is one scored answer tuple.
+	Result = join.Result
+	// Strategy selects the TopBuckets bound-computation strategy.
+	Strategy = topbuckets.Strategy
+	// Distribution selects the workload-assignment algorithm.
+	Distribution = distribute.Algorithm
+)
+
+// TopBuckets strategies (§3.3).
+const (
+	Loose      = topbuckets.Loose
+	BruteForce = topbuckets.BruteForce
+	TwoPhase   = topbuckets.TwoPhase
+)
+
+// Workload distribution algorithms (§3.4, §4.2.2).
+const (
+	DTB        = distribute.AlgDTB
+	LPT        = distribute.AlgLPT
+	RoundRobin = distribute.AlgRoundRobin
+)
+
+// NewEngine validates the collections and returns an engine.
+func NewEngine(cols []*Collection, opts Options) (*Engine, error) {
+	return core.NewEngine(cols, opts)
+}
+
+// Exhaustive computes the exact top-k by in-memory enumeration — the
+// correctness oracle used in tests and experiments. Exponential in the
+// number of collections; use at small scale only.
+func Exhaustive(q *Query, cols []*Collection, k int) ([]Result, error) {
+	return join.Exhaustive(q, cols, k)
+}

@@ -1,0 +1,97 @@
+package tkij
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The public API must carry a user through the full quickstart flow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	c1 := Uniform("C1", 400, 1)
+	c2 := Uniform("C2", 400, 2)
+	engine, err := NewEngine([]*Collection{c1, c2}, Options{K: 10, Granules: 8, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuery("meets", 2, []Edge{{From: 0, To: 1, Pred: Meets(P1)}}, Avg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := engine.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 10 {
+		t.Fatalf("got %d results, want 10", len(report.Results))
+	}
+	exact, err := Exhaustive(q, []*Collection{c1, c2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if report.Results[i].Score != exact[i].Score {
+			t.Fatalf("result %d score %g != exhaustive %g", i, report.Results[i].Score, exact[i].Score)
+		}
+	}
+}
+
+func TestPublicAPICatalogAndCodec(t *testing.T) {
+	q, err := QueryByName("Qo,m", QueryEnv{Params: P2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVertices != 3 {
+		t.Fatalf("Qo,m arity = %d", q.NumVertices)
+	}
+	if _, ok := PredicateByName("sparks", P1, 0); !ok {
+		t.Error("sparks not resolvable")
+	}
+	c := Uniform("rt", 50, 3)
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCollection(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 50 {
+		t.Fatalf("round trip lost intervals: %d", back.Len())
+	}
+}
+
+func TestPublicAPITrafficPipeline(t *testing.T) {
+	packets := GenPackets(50, 30, 86400, 4)
+	conns := BuildConnections("conns", packets, 0)
+	if conns.Len() == 0 {
+		t.Fatal("no connections built")
+	}
+	avg := AvgLength(conns)
+	q, err := QueryByName("QjB,jB", QueryEnv{Params: P3, Avg: avg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine([]*Collection{conns}, Options{K: 5, Granules: 10, Reducers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := engine.ExecuteMapped(q, []int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) == 0 {
+		t.Fatal("no results on traffic data")
+	}
+}
+
+func TestStrategyAndDistributionConstants(t *testing.T) {
+	if Loose.String() != "loose" || DTB.String() != "DTB" {
+		t.Error("re-exported constants broken")
+	}
+	if TwoPhase.String() != "two-phase" || BruteForce.String() != "brute-force" {
+		t.Error("strategy constants broken")
+	}
+	if LPT.String() != "LPT" || RoundRobin.String() != "RoundRobin" {
+		t.Error("distribution constants broken")
+	}
+}

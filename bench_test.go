@@ -1,0 +1,150 @@
+package tkij
+
+// One benchmark per paper table/figure (§4), wrapping the drivers in
+// internal/experiments at a reduced scale so the full -bench=. sweep
+// completes in minutes on one machine. cmd/tkij-bench runs the same
+// drivers at full scale and prints the reproduced tables; EXPERIMENTS.md
+// records paper-vs-measured shapes.
+
+import (
+	"testing"
+
+	"tkij/internal/experiments"
+	"tkij/internal/interval"
+	"tkij/internal/scoring"
+	"tkij/internal/solver"
+)
+
+// benchScale keeps each figure benchmark in the seconds range.
+const benchScale = 0.05
+
+func runExperiment(b *testing.B, fn func(experiments.Config) ([]*experiments.Table, error)) {
+	b.Helper()
+	cfg := experiments.Config{Scale: benchScale, Reducers: 8}
+	for i := 0; i < b.N; i++ {
+		tables, err := fn(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables produced")
+		}
+	}
+}
+
+// BenchmarkStatsCollection regenerates the §4 statistics-collection
+// timing note (time vs |Ci|).
+func BenchmarkStatsCollection(b *testing.B) {
+	runExperiment(b, experiments.StatsCollection)
+}
+
+// BenchmarkFig7ScoreDistribution regenerates Figure 7 (score
+// distribution of the top results per predicate).
+func BenchmarkFig7ScoreDistribution(b *testing.B) {
+	runExperiment(b, experiments.Fig7ScoreDistribution)
+}
+
+// BenchmarkFig8Workload regenerates Figure 8a/b/c (LPT vs DTB: join
+// time, max reducer time, min k-th score).
+func BenchmarkFig8Workload(b *testing.B) {
+	runExperiment(b, experiments.Fig8Workload)
+}
+
+// BenchmarkFig9Strategies regenerates Figure 9 (brute-force vs two-phase
+// vs loose per-phase times on star queries, n = 3..5).
+func BenchmarkFig9Strategies(b *testing.B) {
+	runExperiment(b, experiments.Fig9Strategies)
+}
+
+// BenchmarkFig10Granules regenerates Figure 10a/b/c (effect of the
+// granule count on time, imbalance, and pruning).
+func BenchmarkFig10Granules(b *testing.B) {
+	runExperiment(b, experiments.Fig10Granules)
+}
+
+// BenchmarkFig11Scalability regenerates Figure 11a/b/c (TKIJ vs
+// All-Matrix and RCCIS as |Ci| grows).
+func BenchmarkFig11Scalability(b *testing.B) {
+	runExperiment(b, experiments.Fig11Scalability)
+}
+
+// BenchmarkEffectOfKSynthetic regenerates §4.2.6 (running time vs k on
+// synthetic data).
+func BenchmarkEffectOfKSynthetic(b *testing.B) {
+	runExperiment(b, experiments.EffectOfKSynthetic)
+}
+
+// BenchmarkFig12DataDistribution regenerates Figure 12 (traffic data
+// start/length histograms).
+func BenchmarkFig12DataDistribution(b *testing.B) {
+	runExperiment(b, experiments.Fig12DataDistribution)
+}
+
+// BenchmarkFig13TrafficScalability regenerates Figure 13 (traffic-data
+// scalability of the seven queries).
+func BenchmarkFig13TrafficScalability(b *testing.B) {
+	runExperiment(b, experiments.Fig13TrafficScalability)
+}
+
+// BenchmarkFig14TrafficEffectOfK regenerates Figure 14 (traffic-data
+// running time vs k).
+func BenchmarkFig14TrafficEffectOfK(b *testing.B) {
+	runExperiment(b, experiments.Fig14TrafficEffectOfK)
+}
+
+// BenchmarkAblations covers the DESIGN.md ablations: R-tree probes vs
+// scans (BenchmarkAblationLocalIndex in spirit), pruning on/off, and
+// round-robin distribution.
+func BenchmarkAblations(b *testing.B) {
+	runExperiment(b, experiments.Ablations)
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkPredicateScore measures one scored-predicate evaluation.
+func BenchmarkPredicateScore(b *testing.B) {
+	p := Overlaps(P1)
+	x := Interval{Start: 10, End: 60}
+	y := Interval{Start: 40, End: 90}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Score(x, y)
+	}
+}
+
+// BenchmarkSolverPairBounds measures one loose-strategy unit of work:
+// tight bounds for a predicate over a bucket pair.
+func BenchmarkSolverPairBounds(b *testing.B) {
+	pred := scoring.Starts(scoring.P1)
+	x := solver.VertexBox{StartLo: 0, StartHi: 2500, EndLo: 0, EndHi: 2600}
+	y := solver.VertexBox{StartLo: 2500, StartHi: 5000, EndLo: 2500, EndHi: 5100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		solver.PredicateBounds(pred, x, y, solver.Options{MaxNodes: 512, Eps: 1e-3})
+	}
+}
+
+// BenchmarkEndToEndQuery measures a full TKIJ execution (statistics
+// cached) on a mid-size 3-way query.
+func BenchmarkEndToEndQuery(b *testing.B) {
+	cols := []*interval.Collection{
+		Uniform("C1", 20000, 1), Uniform("C2", 20000, 2), Uniform("C3", 20000, 3),
+	}
+	engine, err := NewEngine(cols, Options{Granules: 20, K: 100, Reducers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := engine.PrepareStats(); err != nil {
+		b.Fatal(err)
+	}
+	q, err := QueryByName("Qo,m", QueryEnv{Params: P1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command tkij-bench regenerates the paper's evaluation tables and
+// figures (§4). Each experiment prints the same rows/series the paper
+// plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	tkij-bench -exp all            # every experiment at default scale
+//	tkij-bench -exp fig11          # one experiment
+//	tkij-bench -exp fig8 -scale 2  # larger datasets
+//
+// Experiments: stats fig7 fig8 fig9 fig10 fig11 sec4.2.6 fig12 fig13
+// fig14 ablation all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tkij/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (fig7..fig14, stats, sec4.2.6, ablation, all)")
+		scale    = flag.Float64("scale", 1, "dataset scale multiplier")
+		reducers = flag.Int("reducers", 24, "reduce tasks")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Reducers: *reducers}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	var (
+		tables []*experiments.Table
+		err    error
+	)
+	if *exp == "all" {
+		tables, err = experiments.All(cfg)
+	} else {
+		tables, err = experiments.ByID(*exp, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tkij-bench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,44 @@
+package tkij
+
+import (
+	"tkij/internal/datagen"
+)
+
+// Data generation re-exports: the synthetic generator of §4.2 and the
+// network-traffic simulator of §4.3 (see internal/datagen for the
+// distribution details).
+
+// TrafficConfig tunes the firewall-log simulator.
+type TrafficConfig = datagen.TrafficConfig
+
+// Packet is one simulated firewall-log record.
+type Packet = datagen.Packet
+
+// Uniform generates n intervals with the paper's synthetic parameters
+// (uniform starts in [0, 1e5], uniform lengths in [1, 100]).
+func Uniform(name string, n int, seed int64) *Collection {
+	return datagen.Uniform(name, n, seed)
+}
+
+// UniformRange generates n intervals with uniform starts in
+// [0, startMax] and lengths in [minLen, maxLen].
+func UniformRange(name string, n int, seed int64, startMax, minLen, maxLen int64) *Collection {
+	return datagen.UniformRange(name, n, seed, startMax, minLen, maxLen)
+}
+
+// Traffic generates n connection-like intervals with bursty starts and
+// heavy-tailed lengths, emulating the paper's firewall-log dataset.
+func Traffic(name string, n int, seed int64, cfg TrafficConfig) *Collection {
+	return datagen.Traffic(name, n, seed, cfg)
+}
+
+// BuildConnections groups a packet log into connection intervals using
+// the paper's 60-second gap rule (gap <= 0 uses the default).
+func BuildConnections(name string, packets []Packet, gap int64) *Collection {
+	return datagen.BuildConnections(name, packets, gap)
+}
+
+// GenPackets simulates a firewall packet log for BuildConnections.
+func GenPackets(nFlows, packetsPerFlow int, span, seed int64) []Packet {
+	return datagen.GenPackets(nFlows, packetsPerFlow, span, seed)
+}

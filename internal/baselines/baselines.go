@@ -1,0 +1,316 @@
+// Package baselines implements the two state-of-the-art competitors the
+// paper compares against in §4.2.5 (Figure 11): RCCIS and All-Matrix
+// from Chawda et al., "Processing Interval Joins on Map-Reduce" (EDBT
+// 2014). Both evaluate Boolean Allen predicates only. Following the
+// paper's adaptation, they return up to k results satisfying every
+// Boolean predicate of the query, each reducer stopping as soon as it
+// has found k, with a final merge phase identical to TKIJ's.
+//
+// All-Matrix handles sequence queries (chains/stars of before): one
+// reducer per non-decreasing granule n-tuple (with G granules and n = 3
+// this yields C(G+2, 3) reducers — the paper uses G = 4, i.e. 20), every
+// interval routed to all cells matching its start granule at its vertex
+// position. Replication is unavoidable, so shuffle volume — and running
+// time — grows with |Ci| even when k is tiny.
+//
+// RCCIS handles colocation queries (every predicate forces a non-empty
+// intersection: overlaps, meets, starts, ...). It cascades pairwise
+// colocation joins: each join phase replicates intervals to every
+// granule they span, joins locally, and deduplicates by emitting a pair
+// only at the granule containing the later start point (which both
+// intervals cover whenever they intersect). Intermediate results are
+// materialized between phases, which is why its first phase dominates
+// cost on selective data — the effect Figure 11 reports.
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/mapreduce"
+	"tkij/internal/query"
+	"tkij/internal/stats"
+)
+
+// Output reports a baseline run.
+type Output struct {
+	// Results are tuples satisfying every Boolean predicate (score 1.0
+	// under the query's scored semantics with PB parameters), at most k.
+	Results []join.Result
+	// PhaseMetrics holds the Map-Reduce metrics of each join phase in
+	// order; RCCIS has n-1 phases, All-Matrix one.
+	PhaseMetrics []*mapreduce.Metrics
+	// MergeMetrics covers the final merge job.
+	MergeMetrics *mapreduce.Metrics
+	// Total is the end-to-end wall time.
+	Total time.Duration
+}
+
+// AllMatrix runs the All-Matrix baseline on a sequence query: every
+// edge's Boolean interpretation must be before(x, y). G is the per-axis
+// granule count (the paper uses 4 with n = 3).
+func AllMatrix(q *query.Query, cols []*interval.Collection, k, G int, cfg mapreduce.Config) (*Output, error) {
+	if err := validateArgs(q, cols, k, G); err != nil {
+		return nil, err
+	}
+	for _, e := range q.Edges {
+		if e.Pred.Name != "s-before" {
+			return nil, fmt.Errorf("baselines: All-Matrix handles sequence (before) queries only, got %s", e.Pred.Name)
+		}
+	}
+	start := time.Now()
+	n := q.NumVertices
+	min, max, _ := interval.Span(cols...)
+	gran, err := stats.NewGranulation(min, max, G)
+	if err != nil {
+		return nil, err
+	}
+
+	// Enumerate the non-decreasing granule n-tuples and give each a
+	// reducer cell id.
+	cells := enumerateCells(G, n)
+	cellID := make(map[string]int, len(cells))
+	for i, c := range cells {
+		cellID[cellKey(c)] = i
+	}
+
+	type routed struct {
+		vertex int
+		iv     interval.Interval
+	}
+	type chunk struct {
+		vertex int
+		items  []interval.Interval
+	}
+	var inputs []chunk
+	for v := 0; v < n; v++ {
+		items := cols[v].Items
+		for lo := 0; lo < len(items); lo += 8192 {
+			hi := lo + 8192
+			if hi > len(items) {
+				hi = len(items)
+			}
+			inputs = append(inputs, chunk{vertex: v, items: items[lo:hi]})
+		}
+	}
+	plan := joinPlanChain(q)
+	job := mapreduce.Job[chunk, int, routed, join.Result]{
+		Name: "all-matrix",
+		Map: func(in chunk, emit func(int, routed)) error {
+			for _, iv := range in.items {
+				g := gran.IndexOf(iv.Start)
+				// Send to every cell whose coordinate for this vertex is g.
+				for ci, cell := range cells {
+					if cell[in.vertex] == g {
+						emit(ci, routed{vertex: in.vertex, iv: iv})
+					}
+				}
+			}
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition,
+		Reduce: func(cell int, values []routed, emit func(join.Result)) error {
+			byVertex := make([][]interval.Interval, n)
+			for _, v := range values {
+				byVertex[v.vertex] = append(byVertex[v.vertex], v.iv)
+			}
+			// Ownership: a tuple is produced only in the cell matching
+			// every member's start granule, so each tuple appears once.
+			owns := func(tuple []interval.Interval) bool {
+				for v, iv := range tuple {
+					if gran.IndexOf(iv.Start) != cells[cell][v] {
+						return false
+					}
+				}
+				return true
+			}
+			found := 0
+			tuple := make([]interval.Interval, n)
+			var rec func(pos int) bool
+			rec = func(pos int) bool {
+				if found >= k {
+					return false
+				}
+				if pos == len(plan) {
+					if owns(tuple) {
+						emit(join.Result{Tuple: append([]interval.Interval(nil), tuple...), Score: 1.0})
+						found++
+					}
+					return found < k
+				}
+				v := plan[pos]
+				for _, iv := range byVertex[v] {
+					tuple[v] = iv
+					if !boolEdgesOK(q, tuple, v, plan[:pos]) {
+						continue
+					}
+					if !rec(pos + 1) {
+						return false
+					}
+				}
+				return true
+			}
+			rec(0)
+			return nil
+		},
+	}
+	cfg.Reducers = len(cells)
+	out, metrics, err := mapreduce.Run(job, inputs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	result := &Output{PhaseMetrics: []*mapreduce.Metrics{metrics}}
+	if err := mergeResults(result, out, k, cfg); err != nil {
+		return nil, err
+	}
+	result.Total = time.Since(start)
+	return result, nil
+}
+
+// enumerateCells lists all non-decreasing n-tuples over [0, G).
+func enumerateCells(G, n int) [][]int {
+	var out [][]int
+	cur := make([]int, n)
+	var rec func(pos, from int)
+	rec = func(pos, from int) {
+		if pos == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for g := from; g < G; g++ {
+			cur[pos] = g
+			rec(pos+1, g)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+func cellKey(cell []int) string {
+	k := make([]byte, len(cell))
+	for i, g := range cell {
+		k[i] = byte(g)
+	}
+	return string(k)
+}
+
+// joinPlanChain orders vertices so each extension has an edge into the
+// bound prefix (BFS from vertex 0), mirroring join.newPlan.
+func joinPlanChain(q *query.Query) []int {
+	n := q.NumVertices
+	order := []int{0}
+	bound := make([]bool, n)
+	bound[0] = true
+	for len(order) < n {
+		for v := 0; v < n; v++ {
+			if bound[v] {
+				continue
+			}
+			for _, e := range q.Edges {
+				if (e.From == v && bound[e.To]) || (e.To == v && bound[e.From]) {
+					order = append(order, v)
+					bound[v] = true
+					break
+				}
+			}
+			if bound[v] {
+				break
+			}
+		}
+	}
+	return order
+}
+
+// boolEdgesOK checks the Boolean predicates of edges between the newly
+// bound vertex and previously bound ones.
+func boolEdgesOK(q *query.Query, tuple []interval.Interval, newV int, boundVs []int) bool {
+	inBound := func(v int) bool {
+		for _, b := range boundVs {
+			if b == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range q.Edges {
+		var ok bool
+		switch {
+		case e.From == newV && inBound(e.To), e.To == newV && inBound(e.From):
+			ok = e.Pred.Bool(tuple[e.From], tuple[e.To])
+		default:
+			continue
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validateArgs(q *query.Query, cols []*interval.Collection, k, G int) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if len(cols) != q.NumVertices {
+		return fmt.Errorf("baselines: %d collections for %d vertices", len(cols), q.NumVertices)
+	}
+	if k < 1 {
+		return fmt.Errorf("baselines: k must be >= 1, got %d", k)
+	}
+	if G < 1 {
+		return fmt.Errorf("baselines: need at least one granule, got %d", G)
+	}
+	for i, c := range cols {
+		if c.Len() == 0 {
+			return fmt.Errorf("baselines: collection %d is empty", i)
+		}
+	}
+	return nil
+}
+
+// mergeResults runs the single-reducer merge job shared by both
+// baselines (identical to TKIJ's merge phase).
+func mergeResults(out *Output, results []join.Result, k int, cfg mapreduce.Config) error {
+	job := mapreduce.Job[join.Result, int, join.Result, join.Result]{
+		Name: "baseline-merge",
+		Map: func(in join.Result, emit func(int, join.Result)) error {
+			emit(0, in)
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition,
+		Reduce: func(_ int, values []join.Result, emit func(join.Result)) error {
+			sort.Slice(values, func(i, j int) bool {
+				if values[i].Score != values[j].Score {
+					return values[i].Score > values[j].Score
+				}
+				return tupleLess(values[i].Tuple, values[j].Tuple)
+			})
+			if len(values) > k {
+				values = values[:k]
+			}
+			for _, v := range values {
+				emit(v)
+			}
+			return nil
+		},
+	}
+	merged, metrics, err := mapreduce.Run(job, results, mapreduce.Config{Mappers: cfg.Mappers, Reducers: 1})
+	if err != nil {
+		return err
+	}
+	out.Results = merged
+	out.MergeMetrics = metrics
+	return nil
+}
+
+func tupleLess(a, b []interval.Interval) bool {
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return a[i].ID < b[i].ID
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"tkij/internal/interval"
+	"tkij/internal/mapreduce"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+)
+
+func synthCols(n, perCol int, seed int64) []*interval.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]*interval.Collection, n)
+	for i := range cols {
+		c := &interval.Collection{Name: "C"}
+		for j := 0; j < perCol; j++ {
+			s := rng.Int63n(1000)
+			c.Add(interval.Interval{ID: int64(i*1000000 + j), Start: s, End: s + 1 + rng.Int63n(60)})
+		}
+		cols[i] = c
+	}
+	return cols
+}
+
+// countBoolSatisfying enumerates the cross product and counts Boolean
+// matches.
+func countBoolSatisfying(q *query.Query, cols []*interval.Collection) int {
+	count := 0
+	tuple := make([]interval.Interval, q.NumVertices)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == q.NumVertices {
+			if q.BoolSatisfied(tuple) {
+				count++
+			}
+			return
+		}
+		for _, iv := range cols[v].Items {
+			tuple[v] = iv
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	return count
+}
+
+func TestAllMatrixFindsBooleanResults(t *testing.T) {
+	cols := synthCols(3, 30, 1)
+	q := query.Qbb(query.Env{Params: scoring.PB})
+	const k = 20
+	out, err := AllMatrix(q, cols, k, 4, mapreduce.Config{Mappers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := countBoolSatisfying(q, cols)
+	want := total
+	if want > k {
+		want = k
+	}
+	if len(out.Results) != want {
+		t.Fatalf("All-Matrix returned %d results, want %d (total %d)", len(out.Results), want, total)
+	}
+	for _, r := range out.Results {
+		if !q.BoolSatisfied(r.Tuple) {
+			t.Fatalf("non-satisfying tuple returned: %v", r.Tuple)
+		}
+		if r.Score != 1.0 {
+			t.Fatalf("baseline result score %g, want 1.0", r.Score)
+		}
+	}
+	if len(out.PhaseMetrics) != 1 || out.MergeMetrics == nil {
+		t.Error("metrics missing")
+	}
+}
+
+func TestAllMatrixCellCount(t *testing.T) {
+	// G = 4, n = 3 must yield C(6,3) = 20 cells (the paper's setup).
+	if got := len(enumerateCells(4, 3)); got != 20 {
+		t.Fatalf("cells(4,3) = %d, want 20", got)
+	}
+	if got := len(enumerateCells(24, 2)); got != 300 {
+		t.Fatalf("cells(24,2) = %d, want 300", got)
+	}
+}
+
+func TestAllMatrixRejectsNonSequenceQuery(t *testing.T) {
+	cols := synthCols(3, 5, 2)
+	q := query.Qoo(query.Env{Params: scoring.PB})
+	if _, err := AllMatrix(q, cols, 5, 4, mapreduce.Config{}); err == nil {
+		t.Error("overlaps query accepted by All-Matrix")
+	}
+}
+
+func TestRCCISFindsBooleanResults(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		q    *query.Query
+	}{
+		{"Qo,o", query.Qoo(query.Env{Params: scoring.PB})},
+		{"Qs,m", query.Qsm(query.Env{Params: scoring.PB})},
+		{"Qf,f", query.Qff(query.Env{Params: scoring.PB})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cols := synthCols(3, 30, 3)
+			const k = 15
+			out, err := RCCIS(tc.q, cols, k, 8, mapreduce.Config{Mappers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := countBoolSatisfying(tc.q, cols)
+			want := total
+			if want > k {
+				want = k
+			}
+			if len(out.Results) != want {
+				t.Fatalf("RCCIS returned %d results, want %d (total %d)", len(out.Results), want, total)
+			}
+			for _, r := range out.Results {
+				if !tc.q.BoolSatisfied(r.Tuple) {
+					t.Fatalf("non-satisfying tuple returned")
+				}
+			}
+			if len(out.PhaseMetrics) != 2 {
+				t.Errorf("RCCIS ran %d phases, want 2", len(out.PhaseMetrics))
+			}
+		})
+	}
+}
+
+// RCCIS must not emit duplicate tuples despite interval replication.
+func TestRCCISNoDuplicates(t *testing.T) {
+	cols := synthCols(2, 50, 7)
+	pp := scoring.PB
+	q := query.MustNew("pair", 2, []query.Edge{{From: 0, To: 1, Pred: scoring.Overlaps(pp)}}, scoring.Avg{})
+	total := countBoolSatisfying(q, cols)
+	out, err := RCCIS(q, cols, total+10, 6, mapreduce.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int64]bool)
+	for _, r := range out.Results {
+		key := [2]int64{r.Tuple[0].ID, r.Tuple[1].ID}
+		if seen[key] {
+			t.Fatalf("duplicate tuple %v", key)
+		}
+		seen[key] = true
+	}
+	if len(out.Results) != total {
+		t.Fatalf("RCCIS found %d results, exhaustive count is %d", len(out.Results), total)
+	}
+}
+
+func TestRCCISRejectsBadQueries(t *testing.T) {
+	cols := synthCols(3, 5, 4)
+	if _, err := RCCIS(query.Qbb(query.Env{Params: scoring.PB}), cols, 5, 4, mapreduce.Config{}); err == nil {
+		t.Error("before query accepted by RCCIS")
+	}
+	// Cyclic query is not a chain.
+	if _, err := RCCIS(query.Qsfm(query.Env{Params: scoring.PB}), cols, 5, 4, mapreduce.Config{}); err == nil {
+		t.Error("cyclic query accepted by RCCIS")
+	}
+}
+
+func TestValidateArgs(t *testing.T) {
+	cols := synthCols(3, 5, 5)
+	q := query.Qbb(query.Env{Params: scoring.PB})
+	if _, err := AllMatrix(q, cols[:2], 5, 4, mapreduce.Config{}); err == nil {
+		t.Error("collection mismatch accepted")
+	}
+	if _, err := AllMatrix(q, cols, 0, 4, mapreduce.Config{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := AllMatrix(q, cols, 5, 0, mapreduce.Config{}); err == nil {
+		t.Error("G=0 accepted")
+	}
+}

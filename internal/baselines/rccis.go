@@ -1,0 +1,192 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/mapreduce"
+	"tkij/internal/query"
+	"tkij/internal/stats"
+)
+
+// colocationPredicates are the Allen predicates whose Boolean truth
+// forces the two intervals to share at least one time point, making the
+// granule-colocation join complete.
+var colocationPredicates = map[string]bool{
+	"s-equals": true, "s-meets": true, "s-overlaps": true,
+	"s-contains": true, "s-starts": true, "s-finishedBy": true,
+}
+
+// partial is an in-flight tuple during the RCCIS cascade. Slots not yet
+// bound hold the zero Interval and are tracked by the bound mask.
+type partial struct {
+	tuple []interval.Interval
+	bound uint32
+}
+
+// RCCIS runs the colocation baseline on a chain query (edges i -> i+1)
+// whose every predicate is a colocation predicate. G is the granule
+// count, which is also the reducer count of each phase (the paper uses
+// 24). Each phase j joins the partial tuples carrying vertex j with
+// collection j+1: both sides are replicated to every granule their
+// joining interval spans, joined locally, and a pair is emitted only at
+// the granule containing the later of the two start points — a point
+// both intervals cover whenever they intersect, so every result is
+// produced exactly once.
+func RCCIS(q *query.Query, cols []*interval.Collection, k, G int, cfg mapreduce.Config) (*Output, error) {
+	if err := validateArgs(q, cols, k, G); err != nil {
+		return nil, err
+	}
+	n := q.NumVertices
+	edgeAt := make([]*query.Edge, n-1)
+	for i := range q.Edges {
+		e := &q.Edges[i]
+		if !colocationPredicates[e.Pred.Name] {
+			return nil, fmt.Errorf("baselines: RCCIS handles colocation predicates only, got %s", e.Pred.Name)
+		}
+		if e.To != e.From+1 {
+			return nil, fmt.Errorf("baselines: RCCIS handles chain queries (edges i->i+1), got edge (%d,%d)", e.From, e.To)
+		}
+		edgeAt[e.From] = e
+	}
+	for i, e := range edgeAt {
+		if e == nil {
+			return nil, fmt.Errorf("baselines: RCCIS chain is missing edge (%d,%d)", i, i+1)
+		}
+	}
+
+	start := time.Now()
+	min, max, _ := interval.Span(cols...)
+	gran, err := stats.NewGranulation(min, max, G)
+	if err != nil {
+		return nil, err
+	}
+
+	// Seed: every x1 is a partial tuple.
+	partials := make([]partial, 0, cols[0].Len())
+	for _, iv := range cols[0].Items {
+		t := make([]interval.Interval, n)
+		t[0] = iv
+		partials = append(partials, partial{tuple: t, bound: 1})
+	}
+
+	out := &Output{}
+	for step := 0; step < n-1; step++ {
+		edge := edgeAt[step]
+		lastPhase := step == n-2
+		partials, err = rccisPhase(partials, cols[step+1], edge, gran, step, k, lastPhase, cfg, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	results := make([]join.Result, len(partials))
+	for i, p := range partials {
+		results[i] = join.Result{Tuple: p.tuple, Score: 1.0}
+	}
+	if err := mergeResults(out, results, k, cfg); err != nil {
+		return nil, err
+	}
+	out.Total = time.Since(start)
+	return out, nil
+}
+
+// rccisSide tags shuffled records: left = partial tuple, right = new
+// collection interval.
+type rccisSide struct {
+	left   *partial
+	right  interval.Interval
+	isLeft bool
+}
+
+// rccisPhase joins partial tuples (joining on vertex `step`) with
+// collection step+1 via granule colocation.
+func rccisPhase(lefts []partial, rightCol *interval.Collection, edge *query.Edge,
+	gran stats.Granulation, step, k int, lastPhase bool, cfg mapreduce.Config, out *Output) ([]partial, error) {
+
+	type input struct {
+		left  []partial
+		right []interval.Interval
+	}
+	var inputs []input
+	for lo := 0; lo < len(lefts); lo += 4096 {
+		hi := lo + 4096
+		if hi > len(lefts) {
+			hi = len(lefts)
+		}
+		inputs = append(inputs, input{left: lefts[lo:hi]})
+	}
+	for lo := 0; lo < len(rightCol.Items); lo += 4096 {
+		hi := lo + 4096
+		if hi > len(rightCol.Items) {
+			hi = len(rightCol.Items)
+		}
+		inputs = append(inputs, input{right: rightCol.Items[lo:hi]})
+	}
+
+	job := mapreduce.Job[input, int, rccisSide, partial]{
+		Name: fmt.Sprintf("rccis-phase-%d", step+1),
+		Map: func(in input, emit func(int, rccisSide)) error {
+			for i := range in.left {
+				p := &in.left[i]
+				iv := p.tuple[step]
+				for g := gran.IndexOf(iv.Start); g <= gran.IndexOf(iv.End); g++ {
+					emit(g, rccisSide{left: p, isLeft: true})
+				}
+			}
+			for _, iv := range in.right {
+				for g := gran.IndexOf(iv.Start); g <= gran.IndexOf(iv.End); g++ {
+					emit(g, rccisSide{right: iv})
+				}
+			}
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition,
+		Reduce: func(g int, values []rccisSide, emit func(partial)) error {
+			var leftHere []*partial
+			var rightHere []interval.Interval
+			for _, v := range values {
+				if v.isLeft {
+					leftHere = append(leftHere, v.left)
+				} else {
+					rightHere = append(rightHere, v.right)
+				}
+			}
+			found := 0
+			for _, p := range leftHere {
+				x := p.tuple[step]
+				for _, y := range rightHere {
+					// Ownership: emit only at the granule of the later
+					// start, covered by both whenever they intersect.
+					later := x.Start
+					if y.Start > later {
+						later = y.Start
+					}
+					if gran.IndexOf(later) != g {
+						continue
+					}
+					if !edge.Pred.Bool(x, y) {
+						continue
+					}
+					t := append([]interval.Interval(nil), p.tuple...)
+					t[step+1] = y
+					emit(partial{tuple: t, bound: p.bound | 1<<uint(step+1)})
+					found++
+					if lastPhase && found >= k {
+						return nil
+					}
+				}
+			}
+			return nil
+		},
+	}
+	cfg.Reducers = gran.G
+	outPartials, metrics, err := mapreduce.Run(job, inputs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.PhaseMetrics = append(out.PhaseMetrics, metrics)
+	return outPartials, nil
+}

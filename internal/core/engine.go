@@ -1,0 +1,225 @@
+// Package core assembles the TKIJ pipeline (Figure 5): offline
+// statistics collection, TopBuckets selection of Ω_k,S, workload
+// distribution, and the distributed join + merge phases. The Engine is
+// dataset-scoped: statistics are collected once per dataset and reused
+// across queries, mirroring the paper's query-independent pre-processing
+// (its cost is reported separately and excluded from query evaluation
+// time, as in §4 "Statistics collection").
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tkij/internal/distribute"
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/mapreduce"
+	"tkij/internal/query"
+	"tkij/internal/stats"
+	"tkij/internal/topbuckets"
+)
+
+// Options configures an Engine. The zero value maps to the paper's
+// defaults: g = 40 granules (§4.2.4's sweet spot), k = 100, 24 reducers,
+// the loose TopBuckets strategy, and DTB workload distribution.
+type Options struct {
+	// Granules is g, the number of granules per collection.
+	Granules int
+	// K is the number of results to return.
+	K int
+	// Reducers is the number of reduce partitions r.
+	Reducers int
+	// Mappers is the number of parallel map tasks (0 = GOMAXPROCS).
+	Mappers int
+	// Strategy selects the TopBuckets bound-computation strategy.
+	Strategy topbuckets.Strategy
+	// Distribution selects the workload-assignment algorithm.
+	Distribution distribute.Algorithm
+	// TopBuckets carries advanced TopBuckets tuning; its Strategy field
+	// is overridden by Strategy above.
+	TopBuckets topbuckets.Options
+	// Local carries the per-reducer join ablation switches.
+	Local join.LocalOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Granules <= 0 {
+		o.Granules = 40
+	}
+	if o.K <= 0 {
+		o.K = 100
+	}
+	if o.Reducers <= 0 {
+		o.Reducers = 24
+	}
+	return o
+}
+
+// Engine evaluates RTJ queries over a fixed set of collections.
+type Engine struct {
+	opts     Options
+	cols     []*interval.Collection
+	matrices []*stats.Matrix
+	// StatsMetrics describes the statistics-collection job after
+	// PrepareStats (or the first Execute) has run.
+	StatsMetrics *mapreduce.Metrics
+	// StatsDuration is the offline pre-processing wall time.
+	StatsDuration time.Duration
+}
+
+// NewEngine validates the collections and returns an engine. Statistics
+// are collected lazily on first use (or eagerly via PrepareStats).
+func NewEngine(cols []*interval.Collection, opts Options) (*Engine, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("core: no collections")
+	}
+	for i, c := range cols {
+		if c == nil || c.Len() == 0 {
+			return nil, fmt.Errorf("core: collection %d is empty", i)
+		}
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{opts: opts.withDefaults(), cols: cols}, nil
+}
+
+// Options returns the engine's effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Collections returns the engine's collections.
+func (e *Engine) Collections() []*interval.Collection { return e.cols }
+
+// AvgLength returns the average interval length over all collections —
+// the avg parameter of the justBefore and shiftMeets predicates.
+func (e *Engine) AvgLength() float64 { return interval.AvgLength(e.cols...) }
+
+// PrepareStats runs the offline statistics-collection phase (§3.2). It
+// is idempotent; Execute calls it automatically when needed.
+func (e *Engine) PrepareStats() error {
+	if e.matrices != nil {
+		return nil
+	}
+	start := time.Now()
+	ms, metrics, err := stats.Collect(e.cols, e.opts.Granules, mapreduce.Config{
+		Mappers:  e.opts.Mappers,
+		Reducers: len(e.cols),
+	})
+	if err != nil {
+		return err
+	}
+	e.matrices = ms
+	e.StatsMetrics = metrics
+	e.StatsDuration = time.Since(start)
+	return nil
+}
+
+// Matrices exposes the collected bucket matrices (after PrepareStats).
+func (e *Engine) Matrices() []*stats.Matrix { return e.matrices }
+
+// Report describes one query execution end to end.
+type Report struct {
+	Query   *query.Query
+	Results []join.Result
+
+	TopBuckets *topbuckets.Result
+	Assignment *distribute.Assignment
+	Join       *join.Output
+
+	// Phase durations (query-time only; the offline statistics phase is
+	// reported on the Engine).
+	TopBucketsTime time.Duration
+	DistributeTime time.Duration
+	JoinTime       time.Duration
+	MergeTime      time.Duration
+	Total          time.Duration
+}
+
+// Imbalance returns the join phase's reduce-task imbalance
+// (max/avg task duration, Figure 10b).
+func (r *Report) Imbalance() float64 {
+	if r.Join == nil || r.Join.JoinMetrics == nil {
+		return 0
+	}
+	return r.Join.JoinMetrics.Imbalance()
+}
+
+// Execute evaluates q with vertex i reading collection i.
+func (e *Engine) Execute(q *query.Query) (*Report, error) {
+	mapping := make([]int, q.NumVertices)
+	for i := range mapping {
+		mapping[i] = i
+	}
+	return e.ExecuteMapped(q, mapping)
+}
+
+// ExecuteMapped evaluates q with vertex i reading collection
+// mapping[i]. Several vertices may share one collection — the paper's
+// network-traffic experiments copy one connection list three times and
+// run 3-way queries over it (§4.3.1).
+func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(mapping) != q.NumVertices {
+		return nil, fmt.Errorf("core: mapping has %d entries for %d vertices", len(mapping), q.NumVertices)
+	}
+	if err := e.PrepareStats(); err != nil {
+		return nil, err
+	}
+	vertexCols := make([]*interval.Collection, q.NumVertices)
+	vertexMs := make([]*stats.Matrix, q.NumVertices)
+	for v, ci := range mapping {
+		if ci < 0 || ci >= len(e.cols) {
+			return nil, fmt.Errorf("core: vertex %d mapped to collection %d of %d", v, ci, len(e.cols))
+		}
+		vertexCols[v] = e.cols[ci]
+		vertexMs[v] = e.matrices[ci].WithCol(v)
+	}
+
+	report := &Report{Query: q}
+	total := time.Now()
+
+	// Phase 1 (online): TopBuckets.
+	tbOpts := e.opts.TopBuckets
+	tbOpts.Strategy = e.opts.Strategy
+	start := time.Now()
+	tb, err := topbuckets.Run(q, vertexMs, e.opts.K, tbOpts)
+	if err != nil {
+		return nil, err
+	}
+	report.TopBuckets = tb
+	report.TopBucketsTime = time.Since(start)
+
+	// Phase 2: workload distribution.
+	start = time.Now()
+	assign, err := distribute.Assign(e.opts.Distribution, tb.Selected, e.opts.Reducers)
+	if err != nil {
+		return nil, err
+	}
+	report.Assignment = assign
+	report.DistributeTime = time.Since(start)
+
+	// Phase 3+4: distributed join and merge. TopBuckets' kthResLB is
+	// handed to the reducers as a certified score floor.
+	start = time.Now()
+	localOpts := e.opts.Local
+	if localOpts.Floor < tb.KthResLB {
+		localOpts.Floor = tb.KthResLB
+	}
+	out, err := join.Run(q, vertexCols, vertexMs, tb.Selected, assign, e.opts.K,
+		mapreduce.Config{Mappers: e.opts.Mappers, Reducers: e.opts.Reducers}, localOpts)
+	if err != nil {
+		return nil, err
+	}
+	report.Join = out
+	report.Results = out.Results
+	report.JoinTime = time.Since(start)
+	if out.MergeMetrics != nil {
+		report.MergeTime = out.MergeMetrics.Total
+		report.JoinTime -= report.MergeTime
+	}
+	report.Total = time.Since(total)
+	return report, nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tkij/internal/distribute"
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+	"tkij/internal/topbuckets"
+)
+
+func synthCols(n, perCol int, seed int64) []*interval.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]*interval.Collection, n)
+	for i := range cols {
+		c := &interval.Collection{Name: "C"}
+		for j := 0; j < perCol; j++ {
+			s := rng.Int63n(3000)
+			c.Add(interval.Interval{ID: int64(i*1000000 + j), Start: s, End: s + 1 + rng.Int63n(90)})
+		}
+		cols[i] = c
+	}
+	return cols
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, Options{}); err == nil {
+		t.Error("no collections accepted")
+	}
+	if _, err := NewEngine([]*interval.Collection{{Name: "e"}}, Options{}); err == nil {
+		t.Error("empty collection accepted")
+	}
+	bad := &interval.Collection{Name: "b", Items: []interval.Interval{{Start: 5, End: 1}}}
+	if _, err := NewEngine([]*interval.Collection{bad}, Options{}); err == nil {
+		t.Error("invalid interval accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	e, err := NewEngine(synthCols(1, 10, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := e.Options()
+	if o.Granules != 40 || o.K != 100 || o.Reducers != 24 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestExecuteMatchesExhaustive(t *testing.T) {
+	cols := synthCols(3, 35, 5)
+	env := query.Env{Params: scoring.P1}
+	q := query.Qom(env)
+	const k = 12
+	e, err := NewEngine(cols, Options{Granules: 6, K: k, Reducers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := join.Exhaustive(q, cols, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.ScoreMultisetEqual(report.Results, exact, 1e-9) {
+		t.Fatal("engine top-k != exhaustive")
+	}
+	if report.TopBuckets == nil || report.Assignment == nil || report.Join == nil {
+		t.Fatal("report missing phase details")
+	}
+	if report.Total <= 0 {
+		t.Error("Total not recorded")
+	}
+	if e.StatsDuration <= 0 || e.StatsMetrics == nil {
+		t.Error("offline stats metrics missing")
+	}
+}
+
+// Self-join via mapping: three vertices over the same collection, the
+// §4.3.1 setup.
+func TestExecuteMappedSelfJoin(t *testing.T) {
+	cols := synthCols(1, 40, 8)
+	avg := interval.AvgLength(cols[0])
+	env := query.Env{Params: scoring.P3, Avg: avg}
+	q := query.QjBjB(env)
+	const k = 10
+	e, err := NewEngine(cols, Options{Granules: 6, K: k, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := e.ExecuteMapped(q, []int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := join.Exhaustive(q, []*interval.Collection{cols[0], cols[0], cols[0]}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.ScoreMultisetEqual(report.Results, exact, 1e-9) {
+		t.Fatal("self-join top-k != exhaustive")
+	}
+}
+
+func TestExecuteMappedErrors(t *testing.T) {
+	cols := synthCols(2, 20, 3)
+	e, err := NewEngine(cols, Options{Granules: 4, K: 5, Reducers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Qbb(query.Env{Params: scoring.P1})
+	if _, err := e.ExecuteMapped(q, []int{0, 1}); err == nil {
+		t.Error("short mapping accepted")
+	}
+	if _, err := e.ExecuteMapped(q, []int{0, 1, 7}); err == nil {
+		t.Error("out-of-range mapping accepted")
+	}
+}
+
+// Stats are collected once and reused across queries.
+func TestStatsReuse(t *testing.T) {
+	cols := synthCols(3, 30, 6)
+	e, err := NewEngine(cols, Options{Granules: 5, K: 5, Reducers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PrepareStats(); err != nil {
+		t.Fatal(err)
+	}
+	first := e.Matrices()
+	env := query.Env{Params: scoring.P1}
+	if _, err := e.Execute(query.Qbb(env)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(query.Qoo(env)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if e.Matrices()[i] != first[i] {
+			t.Fatal("matrices recomputed between queries")
+		}
+	}
+}
+
+// All strategy × distribution configurations agree on the answer.
+func TestConfigurationsAgree(t *testing.T) {
+	cols := synthCols(3, 30, 10)
+	env := query.Env{Params: scoring.P2, Avg: 45}
+	q := query.Qss(env)
+	const k = 8
+	var want []join.Result
+	for _, strat := range []topbuckets.Strategy{topbuckets.Loose, topbuckets.TwoPhase, topbuckets.BruteForce} {
+		for _, alg := range []distribute.Algorithm{distribute.AlgDTB, distribute.AlgLPT, distribute.AlgRoundRobin} {
+			e, err := NewEngine(cols, Options{Granules: 4, K: k, Reducers: 3, Strategy: strat, Distribution: alg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := e.Execute(q)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", strat, alg, err)
+			}
+			if want == nil {
+				want = report.Results
+				continue
+			}
+			if !join.ScoreMultisetEqual(report.Results, want, 1e-9) {
+				t.Fatalf("%s/%s disagrees with baseline", strat, alg)
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package datagen produces the evaluation datasets.
+//
+// Uniform reproduces §4.2's synthetic generator: pseudo-random uniform
+// start points in [0, 1e5] and lengths in [1, 100], integer endpoints —
+// the same parameters as Chawda et al.
+//
+// Traffic simulates the paper's proprietary firewall-log dataset
+// (§4.3.1): the real data is unavailable, so the simulator reproduces
+// the two distributional properties the experiments depend on
+// (Figure 12): bursty, non-uniform start points (hourly activity waves
+// over a day) and heavy-tailed lengths (min 1s, average tens of
+// seconds, maximum around a day — orders of magnitude above the
+// average). Long intervals land in far-apart granule pairs, which is
+// what changes TopBuckets' behaviour on real data (§4.3.2).
+//
+// The package also implements the paper's connection-building step:
+// grouping a packet log by (client, server) and splitting on gaps
+// longer than 60 seconds (§4.3.1).
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"tkij/internal/interval"
+)
+
+// Synthetic-data parameters of §4.2.
+const (
+	// UniformStartMax is the start-point range upper bound s = [0, 1e5].
+	UniformStartMax = 100000
+	// UniformMinLen and UniformMaxLen bound lengths w = [1, 100].
+	UniformMinLen = 1
+	UniformMaxLen = 100
+)
+
+// Uniform generates n intervals with the paper's synthetic parameters.
+func Uniform(name string, n int, seed int64) *interval.Collection {
+	return UniformRange(name, n, seed, UniformStartMax, UniformMinLen, UniformMaxLen)
+}
+
+// UniformRange generates n intervals with uniform starts in
+// [0, startMax] and uniform lengths in [minLen, maxLen].
+func UniformRange(name string, n int, seed int64, startMax, minLen, maxLen int64) *interval.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	c := &interval.Collection{Name: name, Items: make([]interval.Interval, 0, n)}
+	for i := 0; i < n; i++ {
+		s := rng.Int63n(startMax + 1)
+		w := minLen + rng.Int63n(maxLen-minLen+1)
+		c.Add(interval.Interval{ID: int64(i), Start: s, End: s + w})
+	}
+	return c
+}
+
+// TrafficConfig tunes the firewall-log simulator. The zero value is
+// replaced by defaults matching §4.3.1's reported statistics.
+type TrafficConfig struct {
+	// Span is the covered time range in seconds (default: one day).
+	Span int64
+	// AvgLen is the target average connection length (default 54s,
+	// the paper's reported average).
+	AvgLen float64
+	// MaxLen caps connection lengths (default 86400s, close to the
+	// paper's 86,459s maximum).
+	MaxLen int64
+	// Bursts is the number of diurnal activity waves (default 8).
+	Bursts int
+}
+
+func (c TrafficConfig) withDefaults() TrafficConfig {
+	if c.Span <= 0 {
+		c.Span = 86400
+	}
+	if c.AvgLen <= 0 {
+		c.AvgLen = 54
+	}
+	if c.MaxLen <= 0 {
+		c.MaxLen = 86400
+	}
+	if c.Bursts <= 0 {
+		c.Bursts = 8
+	}
+	return c
+}
+
+// Traffic generates n connection-like intervals per TrafficConfig.
+func Traffic(name string, n int, seed int64, cfg TrafficConfig) *interval.Collection {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	c := &interval.Collection{Name: name, Items: make([]interval.Interval, 0, n)}
+	// Burst centers and weights: a few hours dominate, as in Figure 12a
+	// where bin frequencies swing over two orders of magnitude.
+	centers := make([]float64, cfg.Bursts)
+	widths := make([]float64, cfg.Bursts)
+	weights := make([]float64, cfg.Bursts)
+	var wsum float64
+	for b := range centers {
+		centers[b] = rng.Float64() * float64(cfg.Span)
+		widths[b] = (0.005 + 0.03*rng.Float64()) * float64(cfg.Span)
+		weights[b] = math.Exp(rng.Float64() * 4) // ~1x..55x spread
+		wsum += weights[b]
+	}
+	for i := 0; i < n; i++ {
+		// 20% uniform background, 80% bursty.
+		var s int64
+		if rng.Float64() < 0.2 {
+			s = rng.Int63n(cfg.Span)
+		} else {
+			b := pickWeighted(rng, weights, wsum)
+			v := centers[b] + rng.NormFloat64()*widths[b]
+			if v < 0 {
+				v = -v
+			}
+			s = int64(v) % cfg.Span
+		}
+		c.Add(interval.Interval{ID: int64(i), Start: s, End: s + trafficLength(rng, cfg)})
+	}
+	return c
+}
+
+// trafficLength draws a heavy-tailed length: a bounded Pareto with tail
+// index ~1.15 shifted to minimum 1, calibrated so the mean lands near
+// AvgLen while the maximum reaches a large fraction of MaxLen on
+// realistic sample sizes.
+func trafficLength(rng *rand.Rand, cfg TrafficConfig) int64 {
+	const alpha = 1.15
+	// Mean of a Pareto(xm, alpha) is xm*alpha/(alpha-1) ≈ 7.7*xm; pick
+	// xm so the (clipped) mean approximates AvgLen.
+	xm := cfg.AvgLen * (alpha - 1) / alpha
+	if xm < 1 {
+		xm = 1
+	}
+	u := rng.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	l := int64(xm / math.Pow(u, 1/alpha))
+	if l < 1 {
+		l = 1
+	}
+	if l > cfg.MaxLen {
+		l = cfg.MaxLen
+	}
+	return l
+}
+
+func pickWeighted(rng *rand.Rand, weights []float64, sum float64) int {
+	v := rng.Float64() * sum
+	for i, w := range weights {
+		v -= w
+		if v <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Packet is one firewall-log record: a packet exchanged between a
+// client and a server at a second-granularity timestamp (§4.3.1).
+type Packet struct {
+	Client, Server string
+	TS             interval.Timestamp
+}
+
+// ConnectionGap is the paper's grouping rule: consecutive packets of the
+// same (client, server) pair belong to one connection iff their
+// timestamps are within 60 seconds.
+const ConnectionGap = 60
+
+// BuildConnections groups a packet log into connection intervals
+// [client, server, start, end] per §4.3.1: packets are bucketed by
+// (client, server), sorted by timestamp, and split whenever consecutive
+// packets are more than gap seconds apart. gap <= 0 uses ConnectionGap.
+func BuildConnections(name string, packets []Packet, gap int64) *interval.Collection {
+	if gap <= 0 {
+		gap = ConnectionGap
+	}
+	type flow struct{ client, server string }
+	byFlow := make(map[flow][]interval.Timestamp)
+	for _, p := range packets {
+		f := flow{p.Client, p.Server}
+		byFlow[f] = append(byFlow[f], p.TS)
+	}
+	// Deterministic flow order.
+	flows := make([]flow, 0, len(byFlow))
+	for f := range byFlow {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].client != flows[j].client {
+			return flows[i].client < flows[j].client
+		}
+		return flows[i].server < flows[j].server
+	})
+	c := &interval.Collection{Name: name}
+	id := int64(0)
+	for _, f := range flows {
+		ts := byFlow[f]
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		start, last := ts[0], ts[0]
+		for _, t := range ts[1:] {
+			if t-last > gap {
+				c.Add(interval.Interval{ID: id, Start: start, End: last})
+				id++
+				start = t
+			}
+			last = t
+		}
+		c.Add(interval.Interval{ID: id, Start: start, End: last})
+		id++
+	}
+	return c
+}
+
+// GenPackets simulates a firewall log: nFlows (client, server) pairs
+// exchanging bursts of packets across span seconds. Useful as input to
+// BuildConnections in examples and tests.
+func GenPackets(nFlows, packetsPerFlow int, span int64, seed int64) []Packet {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Packet
+	for f := 0; f < nFlows; f++ {
+		client := "c" + itoa(f%100)
+		server := "s" + itoa(f)
+		t := rng.Int63n(span)
+		for p := 0; p < packetsPerFlow; p++ {
+			out = append(out, Packet{Client: client, Server: server, TS: t})
+			// Mostly dense packets, occasionally a gap that splits the
+			// connection.
+			if rng.Float64() < 0.05 {
+				t += ConnectionGap + 1 + rng.Int63n(600)
+			} else {
+				t += rng.Int63n(30)
+			}
+		}
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Histogram bins values into nBins equal-width buckets over [0, max] and
+// returns per-bin percentages — the presentation of Figure 12.
+func Histogram(values []int64, max int64, nBins int) []float64 {
+	out := make([]float64, nBins)
+	if len(values) == 0 || max <= 0 || nBins <= 0 {
+		return out
+	}
+	for _, v := range values {
+		b := int(float64(v) / float64(max+1) * float64(nBins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= nBins {
+			b = nBins - 1
+		}
+		out[b]++
+	}
+	for i := range out {
+		out[i] = out[i] / float64(len(values)) * 100
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package datagen
+
+import (
+	"testing"
+
+	"tkij/internal/interval"
+)
+
+func TestUniformParameters(t *testing.T) {
+	c := Uniform("u", 20000, 1)
+	if c.Len() != 20000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	s := c.ComputeStats()
+	if s.MinStart < 0 || s.MaxEnd > UniformStartMax+UniformMaxLen {
+		t.Errorf("span [%d,%d] outside generator bounds", s.MinStart, s.MaxEnd)
+	}
+	if s.MinLength < UniformMinLen || s.MaxLength > UniformMaxLen {
+		t.Errorf("lengths [%d,%d] outside [1,100]", s.MinLength, s.MaxLength)
+	}
+	// Uniform lengths in [1,100] average ~50.5.
+	if s.AvgLength < 45 || s.AvgLength > 56 {
+		t.Errorf("AvgLength = %g, want ~50.5", s.AvgLength)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform("a", 1000, 7)
+	b := Uniform("b", 1000, 7)
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Uniform("c", 1000, 8)
+	same := true
+	for i := range a.Items {
+		if a.Items[i] != c.Items[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTrafficDistributionShape(t *testing.T) {
+	c := Traffic("t", 50000, 3, TrafficConfig{})
+	s := c.ComputeStats()
+	if s.MinLength < 1 {
+		t.Errorf("MinLength = %d, want >= 1", s.MinLength)
+	}
+	// Heavy tail: average tens of seconds, max orders of magnitude above.
+	if s.AvgLength < 20 || s.AvgLength > 200 {
+		t.Errorf("AvgLength = %g, want within [20,200] (paper: 54)", s.AvgLength)
+	}
+	if float64(s.MaxLength) < 50*s.AvgLength {
+		t.Errorf("MaxLength %d not heavy-tailed vs avg %g", s.MaxLength, s.AvgLength)
+	}
+	// Bursty starts: histogram bins must spread over >= 2 orders of
+	// magnitude (Figure 12a's log-scale spread).
+	starts := make([]int64, c.Len())
+	for i, iv := range c.Items {
+		starts[i] = iv.Start
+	}
+	h := Histogram(starts, 86400, 50)
+	minNZ, maxNZ := 101.0, 0.0
+	for _, v := range h {
+		if v > 0 {
+			if v < minNZ {
+				minNZ = v
+			}
+			if v > maxNZ {
+				maxNZ = v
+			}
+		}
+	}
+	if maxNZ/minNZ < 10 {
+		t.Errorf("start-point histogram spread %g/%g = %gx, want >= 10x (bursty)", maxNZ, minNZ, maxNZ/minNZ)
+	}
+}
+
+func TestBuildConnectionsGapRule(t *testing.T) {
+	packets := []Packet{
+		{Client: "a", Server: "x", TS: 100},
+		{Client: "a", Server: "x", TS: 130},
+		{Client: "a", Server: "x", TS: 150},
+		{Client: "a", Server: "x", TS: 300}, // gap 150 > 60: new connection
+		{Client: "a", Server: "x", TS: 320},
+		{Client: "b", Server: "x", TS: 105}, // different flow
+	}
+	c := BuildConnections("conns", packets, 0)
+	if c.Len() != 3 {
+		t.Fatalf("built %d connections, want 3: %v", c.Len(), c.Items)
+	}
+	// Flow a/x first connection spans [100,150].
+	found := false
+	for _, iv := range c.Items {
+		if iv.Start == 100 && iv.End == 150 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected connection [100,150], got %v", c.Items)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildConnectionsSinglePacket(t *testing.T) {
+	c := BuildConnections("one", []Packet{{Client: "a", Server: "x", TS: 42}}, 0)
+	if c.Len() != 1 || c.Items[0].Start != 42 || c.Items[0].End != 42 {
+		t.Fatalf("single packet connection = %v", c.Items)
+	}
+}
+
+func TestGenPacketsToConnections(t *testing.T) {
+	packets := GenPackets(100, 40, 86400, 5)
+	c := BuildConnections("conns", packets, 0)
+	if c.Len() < 100 {
+		t.Fatalf("built %d connections from 100 flows, want >= 100 (gaps split flows)", c.Len())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No connection may contain an internal gap > 60s; spot-check
+	// durations stay within the log span.
+	s := c.ComputeStats()
+	if s.MaxEnd-s.MinStart > 86400*3 {
+		t.Errorf("connections span too wide: [%d,%d]", s.MinStart, s.MaxEnd)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	// Bins over [0,9] with width 5: {0,4} -> bin 0, {5,9,9} -> bin 1.
+	h := Histogram([]int64{0, 4, 5, 9}, 9, 2)
+	if h[0] != 50 || h[1] != 50 {
+		t.Fatalf("Histogram = %v, want [50 50]", h)
+	}
+	if got := Histogram(nil, 10, 3); len(got) != 3 {
+		t.Fatal("empty histogram wrong length")
+	}
+}
+
+func TestTrafficDeterministic(t *testing.T) {
+	a := Traffic("a", 500, 11, TrafficConfig{})
+	b := Traffic("b", 500, 11, TrafficConfig{})
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatal("same seed produced different traffic data")
+		}
+	}
+	var _ interval.Timestamp // keep the import honest if assertions change
+}

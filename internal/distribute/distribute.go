@@ -1,0 +1,292 @@
+// Package distribute implements TKIJ's workload-assignment phase (§3.4):
+// mapping the selected bucket combinations Ω_k,S onto reducers. The
+// primary algorithm is DistributeTopBuckets (DTB, Algorithms 3 and 4),
+// which hands out combinations in descending score-upper-bound order so
+// every reducer receives a fair share of high-scoring results (enabling
+// early termination of local top-k processing), discards reducers that
+// already hold twice the average result load (worst-case balance), and
+// breaks ties toward the reducer already holding the largest share of
+// the combination's buckets (replication / shuffle-input cost).
+//
+// The package also provides the two comparison assignments used in the
+// evaluation: LPT (§4.2.2), the longest-processing-time scheduling
+// heuristic that ignores scores, and a plain round-robin ablation.
+package distribute
+
+import (
+	"fmt"
+	"sort"
+
+	"tkij/internal/stats"
+	"tkij/internal/topbuckets"
+)
+
+// Assignment is the result of a distribution algorithm.
+type Assignment struct {
+	// Algorithm names the producing algorithm ("DTB", "LPT", ...).
+	Algorithm string
+	// Reducers is the number of reduce partitions r.
+	Reducers int
+	// ComboReducer maps each combination (by index into the input slice)
+	// to its reducer.
+	ComboReducer []int
+	// ReducerCombos lists, per reducer, the combination indexes it was
+	// assigned, in assignment order (descending UB for DTB).
+	ReducerCombos [][]int
+	// BucketReducers maps each distinct bucket to the sorted set of
+	// reducers that need a copy of its intervals. This drives the join
+	// phase's map-side routing.
+	BucketReducers map[stats.BucketKey][]int
+	// ReducerResults is the candidate-result load per reducer
+	// (Σ ω.nbRes over its combinations).
+	ReducerResults []float64
+	// ReplicatedRecords is the total number of interval records shipped
+	// in the shuffle: Σ over buckets of |b| × (number of reducers
+	// holding b). This is the I/O cost DTB's tie-breaking minimizes.
+	ReplicatedRecords float64
+}
+
+// ResultImbalance returns max/avg of ReducerResults over reducers that
+// received work — the worst-case output imbalance the assignment allows.
+func (a *Assignment) ResultImbalance() float64 {
+	var max, sum float64
+	n := 0
+	for _, v := range a.ReducerResults {
+		if v > max {
+			max = v
+		}
+		sum += v
+		n++
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(n))
+}
+
+// assignmentState tracks per-reducer load during construction.
+type assignmentState struct {
+	a           *Assignment
+	comboCount  []int                            // |Ω_rj|
+	bucketOn    map[stats.BucketKey]map[int]bool // bucket -> reducers holding it
+	bucketCount map[stats.BucketKey]int          // |b| cache
+}
+
+func newState(algorithm string, nCombos, r int) *assignmentState {
+	return &assignmentState{
+		a: &Assignment{
+			Algorithm:      algorithm,
+			Reducers:       r,
+			ComboReducer:   make([]int, nCombos),
+			ReducerCombos:  make([][]int, r),
+			BucketReducers: make(map[stats.BucketKey][]int),
+			ReducerResults: make([]float64, r),
+		},
+		comboCount:  make([]int, r),
+		bucketOn:    make(map[stats.BucketKey]map[int]bool),
+		bucketCount: make(map[stats.BucketKey]int),
+	}
+}
+
+// assign records combination comboIdx (with the given buckets and result
+// count) on reducer rj, updating replication bookkeeping.
+func (s *assignmentState) assign(comboIdx int, c topbuckets.Combo, rj int) {
+	s.a.ComboReducer[comboIdx] = rj
+	s.a.ReducerCombos[rj] = append(s.a.ReducerCombos[rj], comboIdx)
+	s.a.ReducerResults[rj] += c.NbRes
+	s.comboCount[rj]++
+	for _, b := range c.Buckets {
+		key := b.Key()
+		s.bucketCount[key] = b.Count
+		on := s.bucketOn[key]
+		if on == nil {
+			on = make(map[int]bool)
+			s.bucketOn[key] = on
+		}
+		if !on[rj] {
+			on[rj] = true
+			s.a.ReplicatedRecords += float64(b.Count)
+		}
+	}
+}
+
+// finalize freezes the bucket→reducer sets in sorted order.
+func (s *assignmentState) finalize() *Assignment {
+	for key, on := range s.bucketOn {
+		rs := make([]int, 0, len(on))
+		for rj := range on {
+			rs = append(rs, rj)
+		}
+		sort.Ints(rs)
+		s.a.BucketReducers[key] = rs
+	}
+	return s.a
+}
+
+// inCost returns the input cost that assigning ω to rj would *add*: the
+// total cardinality of ω's buckets not yet present on rj.
+//
+// Note on fidelity: Algorithm 4 as printed defines inCost with
+// Φ(rj, b) = 1 when b is already on rj and then minimizes it, which
+// contradicts the accompanying prose ("selects the reducer that was
+// already assigned the largest fraction of current ω ... favors
+// assignments that reduce replication cost"). We follow the prose:
+// minimize the *newly shipped* records, which is equivalent to
+// maximizing the already-present fraction.
+func (s *assignmentState) inCost(c topbuckets.Combo, rj int) float64 {
+	var cost float64
+	for _, b := range c.Buckets {
+		if !s.bucketOn[b.Key()][rj] {
+			cost += float64(b.Count)
+		}
+	}
+	return cost
+}
+
+// sortIdx returns combination indexes ordered by less with a
+// deterministic tie-break on the input order.
+func sortIdx(n int, less func(i, j int) bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	return idx
+}
+
+// DTB implements DistributeTopBuckets (Algorithm 3). Combinations are
+// processed in descending UB order; each goes to the reducer chosen by
+// getReducer (Algorithm 4).
+func DTB(combos []topbuckets.Combo, r int) (*Assignment, error) {
+	if err := checkArgs(combos, r); err != nil {
+		return nil, err
+	}
+	s := newState("DTB", len(combos), r)
+	var totalRes float64
+	for _, c := range combos {
+		totalRes += c.NbRes
+	}
+	avgRes := totalRes / float64(r)
+	order := sortIdx(len(combos), func(i, j int) bool { return combos[i].UB > combos[j].UB })
+	for _, ci := range order {
+		rj := s.getReducer(combos[ci], avgRes)
+		s.assign(ci, combos[ci], rj)
+	}
+	return s.finalize(), nil
+}
+
+// getReducer implements Algorithm 4: among reducers under the 2×avgRes
+// result cap, restrict to those with the fewest assigned combinations,
+// then pick the one with the lowest added input cost.
+func (s *assignmentState) getReducer(c topbuckets.Combo, avgRes float64) int {
+	r := s.a.Reducers
+	underCap := func(rj int) bool { return s.a.ReducerResults[rj] < 2*avgRes }
+	// If every reducer is over the cap (degenerate: one combination
+	// dwarfs the average), fall back to considering all of them.
+	anyUnder := false
+	for rj := 0; rj < r; rj++ {
+		if underCap(rj) {
+			anyUnder = true
+			break
+		}
+	}
+	eligible := func(rj int) bool { return !anyUnder || underCap(rj) }
+
+	minAssigned := int(^uint(0) >> 1)
+	for rj := 0; rj < r; rj++ {
+		if eligible(rj) && s.comboCount[rj] < minAssigned {
+			minAssigned = s.comboCount[rj]
+		}
+	}
+	best, bestCost := -1, 0.0
+	for rj := 0; rj < r; rj++ {
+		if !eligible(rj) || s.comboCount[rj] != minAssigned {
+			continue
+		}
+		cost := s.inCost(c, rj)
+		if best == -1 || cost < bestCost {
+			best, bestCost = rj, cost
+		}
+	}
+	return best
+}
+
+// LPT is the baseline of §4.2.2: combinations in descending result-count
+// order, each to the least result-loaded reducer. Scores are ignored.
+func LPT(combos []topbuckets.Combo, r int) (*Assignment, error) {
+	if err := checkArgs(combos, r); err != nil {
+		return nil, err
+	}
+	s := newState("LPT", len(combos), r)
+	order := sortIdx(len(combos), func(i, j int) bool { return combos[i].NbRes > combos[j].NbRes })
+	for _, ci := range order {
+		best := 0
+		for rj := 1; rj < r; rj++ {
+			if s.a.ReducerResults[rj] < s.a.ReducerResults[best] {
+				best = rj
+			}
+		}
+		s.assign(ci, combos[ci], best)
+	}
+	return s.finalize(), nil
+}
+
+// RoundRobin is an ablation: descending-UB order, reducer i%r. It shares
+// DTB's score-awareness but ignores both balance and replication.
+func RoundRobin(combos []topbuckets.Combo, r int) (*Assignment, error) {
+	if err := checkArgs(combos, r); err != nil {
+		return nil, err
+	}
+	s := newState("RoundRobin", len(combos), r)
+	order := sortIdx(len(combos), func(i, j int) bool { return combos[i].UB > combos[j].UB })
+	for pos, ci := range order {
+		s.assign(ci, combos[ci], pos%r)
+	}
+	return s.finalize(), nil
+}
+
+func checkArgs(combos []topbuckets.Combo, r int) error {
+	if r < 1 {
+		return fmt.Errorf("distribute: need at least 1 reducer, got %d", r)
+	}
+	if len(combos) == 0 {
+		return fmt.Errorf("distribute: no combinations to assign")
+	}
+	return nil
+}
+
+// Algorithm selects a distribution algorithm by name.
+type Algorithm int
+
+// The available distribution algorithms.
+const (
+	AlgDTB Algorithm = iota
+	AlgLPT
+	AlgRoundRobin
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgDTB:
+		return "DTB"
+	case AlgLPT:
+		return "LPT"
+	case AlgRoundRobin:
+		return "RoundRobin"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Assign runs the selected algorithm.
+func Assign(alg Algorithm, combos []topbuckets.Combo, r int) (*Assignment, error) {
+	switch alg {
+	case AlgDTB:
+		return DTB(combos, r)
+	case AlgLPT:
+		return LPT(combos, r)
+	case AlgRoundRobin:
+		return RoundRobin(combos, r)
+	}
+	return nil, fmt.Errorf("distribute: unknown algorithm %d", int(alg))
+}

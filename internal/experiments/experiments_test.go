@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration that runs every driver in seconds.
+func tiny() Config { return Config{Scale: 0.02, Reducers: 4} }
+
+func TestAllDriversAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	drivers := []struct {
+		name string
+		fn   func(Config) ([]*Table, error)
+		want int // number of tables
+	}{
+		{"stats", StatsCollection, 1},
+		{"fig7", Fig7ScoreDistribution, 1},
+		{"fig8", Fig8Workload, 3},
+		{"fig9", Fig9Strategies, 1},
+		{"fig10", Fig10Granules, 3},
+		{"fig11", Fig11Scalability, 3},
+		{"sec4.2.6", EffectOfKSynthetic, 1},
+		{"fig12", Fig12DataDistribution, 3},
+		{"fig13", Fig13TrafficScalability, 1},
+		{"fig14", Fig14TrafficEffectOfK, 1},
+		{"ablation", Ablations, 1},
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			start := time.Now()
+			tables, err := d.fn(tiny())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) != d.want {
+				t.Fatalf("%s returned %d tables, want %d", d.name, len(tables), d.want)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %s has no rows", tb.ID)
+				}
+				var buf bytes.Buffer
+				tb.Fprint(&buf)
+				if !strings.Contains(buf.String(), tb.ID) {
+					t.Errorf("rendered table missing ID %s", tb.ID)
+				}
+			}
+			t.Logf("%s: %d tables in %v", d.name, len(tables), time.Since(start))
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tables, err := ByID("fig12", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("fig12 tables = %d", len(tables))
+	}
+	if _, err := ByID("nope", tiny()); err == nil {
+		t.Error("unknown id accepted")
+	}
+}

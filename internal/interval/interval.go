@@ -1,0 +1,170 @@
+// Package interval defines the temporal data model used throughout the
+// TKIJ reproduction: intervals with integer start/end timestamps, and
+// collections of intervals with summary statistics.
+//
+// The paper (§2) models each interval x as a unique identifier plus a
+// start time (written x with an underline) and an end time (x with an
+// overline). Timestamps are integers, matching the synthetic generator
+// of §4.2 and the second-granularity network traffic data of §4.3.
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Timestamp is a point in time. The paper's datasets use integer
+// timestamps (seconds for the network data); int64 covers both.
+type Timestamp = int64
+
+// Interval is a closed time interval [Start, End] with a collection-local
+// identifier. The zero Interval is the degenerate point [0,0] with ID 0.
+type Interval struct {
+	// ID is unique within its collection.
+	ID int64
+	// Start is the interval's begin timestamp (x̲ in the paper).
+	Start Timestamp
+	// End is the interval's end timestamp (x̄ in the paper). End >= Start
+	// for every valid interval.
+	End Timestamp
+}
+
+// Valid reports whether the interval is well-formed (Start <= End).
+func (iv Interval) Valid() bool { return iv.Start <= iv.End }
+
+// Length returns End - Start.
+func (iv Interval) Length() int64 { return iv.End - iv.Start }
+
+// Overlaps reports whether iv and other share at least one time point.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+// Contains reports whether t lies within [Start, End].
+func (iv Interval) Contains(t Timestamp) bool {
+	return iv.Start <= t && t <= iv.End
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	return fmt.Sprintf("#%d[%d,%d]", iv.ID, iv.Start, iv.End)
+}
+
+// Collection is an ordered multiset of intervals, corresponding to one
+// of the paper's input collections C_1 ... C_m. The zero value is an
+// empty collection ready to use.
+type Collection struct {
+	// Name identifies the collection in queries and diagnostics.
+	Name string
+	// Items holds the intervals. Order is not semantically meaningful.
+	Items []Interval
+}
+
+// NewCollection returns a named collection wrapping items (not copied).
+func NewCollection(name string, items []Interval) *Collection {
+	return &Collection{Name: name, Items: items}
+}
+
+// Len returns the number of intervals (|C_i| in the paper).
+func (c *Collection) Len() int { return len(c.Items) }
+
+// Add appends an interval.
+func (c *Collection) Add(iv Interval) { c.Items = append(c.Items, iv) }
+
+// Validate returns an error describing the first malformed interval, or
+// nil if every interval satisfies Start <= End.
+func (c *Collection) Validate() error {
+	for i, iv := range c.Items {
+		if !iv.Valid() {
+			return fmt.Errorf("interval: collection %q item %d: start %d > end %d", c.Name, i, iv.Start, iv.End)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a collection's temporal extent and lengths. It backs
+// both granule sizing (the time range to partition) and the avg-length
+// parameter used by the justBefore and shiftMeets predicates.
+type Stats struct {
+	Count     int
+	MinStart  Timestamp
+	MaxEnd    Timestamp
+	MinLength int64
+	MaxLength int64
+	AvgLength float64
+}
+
+// ComputeStats scans the collection once and returns its summary. An
+// empty collection yields a zero Stats with Count == 0.
+func (c *Collection) ComputeStats() Stats {
+	if len(c.Items) == 0 {
+		return Stats{}
+	}
+	s := Stats{
+		Count:     len(c.Items),
+		MinStart:  math.MaxInt64,
+		MaxEnd:    math.MinInt64,
+		MinLength: math.MaxInt64,
+		MaxLength: math.MinInt64,
+	}
+	var totalLen int64
+	for _, iv := range c.Items {
+		if iv.Start < s.MinStart {
+			s.MinStart = iv.Start
+		}
+		if iv.End > s.MaxEnd {
+			s.MaxEnd = iv.End
+		}
+		l := iv.Length()
+		if l < s.MinLength {
+			s.MinLength = l
+		}
+		if l > s.MaxLength {
+			s.MaxLength = l
+		}
+		totalLen += l
+	}
+	s.AvgLength = float64(totalLen) / float64(len(c.Items))
+	return s
+}
+
+// Span returns the smallest [min start, max end] range covering every
+// interval in all the given collections. ok is false when all
+// collections are empty.
+func Span(cols ...*Collection) (min, max Timestamp, ok bool) {
+	min, max = math.MaxInt64, math.MinInt64
+	for _, c := range cols {
+		for _, iv := range c.Items {
+			if iv.Start < min {
+				min = iv.Start
+			}
+			if iv.End > max {
+				max = iv.End
+			}
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return min, max, true
+}
+
+// AvgLength returns the average interval length across all the given
+// collections (AVG_z(z̄ - z̲) in the paper, the "avg" parameter of the
+// justBefore and shiftMeets predicates). It returns 0 when all
+// collections are empty.
+func AvgLength(cols ...*Collection) float64 {
+	var total int64
+	var n int
+	for _, c := range cols {
+		for _, iv := range c.Items {
+			total += iv.Length()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}

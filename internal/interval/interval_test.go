@@ -1,0 +1,220 @@
+package interval
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalValid(t *testing.T) {
+	tests := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Interval{ID: 1, Start: 0, End: 0}, true},
+		{Interval{ID: 2, Start: 5, End: 10}, true},
+		{Interval{ID: 3, Start: 10, End: 5}, false},
+		{Interval{ID: 4, Start: -10, End: -5}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.iv.Valid(); got != tt.want {
+			t.Errorf("%v.Valid() = %v, want %v", tt.iv, got, tt.want)
+		}
+	}
+}
+
+func TestIntervalLength(t *testing.T) {
+	if got := (Interval{Start: 3, End: 11}).Length(); got != 8 {
+		t.Errorf("Length = %d, want 8", got)
+	}
+	if got := (Interval{Start: 7, End: 7}).Length(); got != 0 {
+		t.Errorf("point Length = %d, want 0", got)
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := Interval{Start: 0, End: 10}
+	tests := []struct {
+		b    Interval
+		want bool
+	}{
+		{Interval{Start: 5, End: 15}, true},
+		{Interval{Start: 10, End: 20}, true}, // touching endpoints count
+		{Interval{Start: 11, End: 20}, false},
+		{Interval{Start: -5, End: -1}, false},
+		{Interval{Start: -5, End: 0}, true},
+		{Interval{Start: 2, End: 8}, true}, // contained
+	}
+	for _, tt := range tests {
+		if got := a.Overlaps(tt.b); got != tt.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Overlaps(a); got != tt.want {
+			t.Errorf("Overlaps not symmetric for %v, %v", a, tt.b)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: 2, End: 6}
+	for _, tt := range []struct {
+		t    Timestamp
+		want bool
+	}{{1, false}, {2, true}, {4, true}, {6, true}, {7, false}} {
+		if got := iv.Contains(tt.t); got != tt.want {
+			t.Errorf("Contains(%d) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestCollectionValidate(t *testing.T) {
+	good := NewCollection("ok", []Interval{{ID: 1, Start: 0, End: 5}})
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(good) = %v, want nil", err)
+	}
+	bad := NewCollection("bad", []Interval{{ID: 1, Start: 0, End: 5}, {ID: 2, Start: 9, End: 3}})
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("Validate(bad) = nil, want error")
+	}
+	if !strings.Contains(err.Error(), "item 1") {
+		t.Errorf("error %q should name item 1", err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := NewCollection("c", []Interval{
+		{ID: 1, Start: 10, End: 20}, // len 10
+		{ID: 2, Start: 5, End: 7},   // len 2
+		{ID: 3, Start: 30, End: 60}, // len 30
+	})
+	s := c.ComputeStats()
+	if s.Count != 3 {
+		t.Errorf("Count = %d, want 3", s.Count)
+	}
+	if s.MinStart != 5 || s.MaxEnd != 60 {
+		t.Errorf("span = [%d,%d], want [5,60]", s.MinStart, s.MaxEnd)
+	}
+	if s.MinLength != 2 || s.MaxLength != 30 {
+		t.Errorf("lengths = [%d,%d], want [2,30]", s.MinLength, s.MaxLength)
+	}
+	if s.AvgLength != 14 {
+		t.Errorf("AvgLength = %v, want 14", s.AvgLength)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	var c Collection
+	if s := c.ComputeStats(); s.Count != 0 {
+		t.Errorf("empty stats = %+v, want zero", s)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	c1 := NewCollection("a", []Interval{{Start: 10, End: 20}})
+	c2 := NewCollection("b", []Interval{{Start: 5, End: 12}, {Start: 18, End: 40}})
+	min, max, ok := Span(c1, c2)
+	if !ok || min != 5 || max != 40 {
+		t.Errorf("Span = (%d,%d,%v), want (5,40,true)", min, max, ok)
+	}
+	if _, _, ok := Span(&Collection{}); ok {
+		t.Error("Span(empty) ok = true, want false")
+	}
+}
+
+func TestAvgLength(t *testing.T) {
+	c1 := NewCollection("a", []Interval{{Start: 0, End: 10}})
+	c2 := NewCollection("b", []Interval{{Start: 0, End: 20}, {Start: 0, End: 30}})
+	if got := AvgLength(c1, c2); got != 20 {
+		t.Errorf("AvgLength = %v, want 20", got)
+	}
+	if got := AvgLength(&Collection{}); got != 0 {
+		t.Errorf("AvgLength(empty) = %v, want 0", got)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := &Collection{Name: "rt"}
+	for i := 0; i < 500; i++ {
+		start := rng.Int63n(100000)
+		c.Add(Interval{ID: int64(i), Start: start, End: start + rng.Int63n(100)})
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, c); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf, "rt")
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if !reflect.DeepEqual(got.Items, c.Items) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlank(t *testing.T) {
+	src := "# header\n\n1\t5\t9\n  \n2\t7\t8\n"
+	c, err := ReadText(strings.NewReader(src), "x")
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"fields", "1\t2\n", "want 3 fields"},
+		{"id", "x\t2\t3\n", "bad id"},
+		{"start", "1\ty\t3\n", "bad start"},
+		{"end", "1\t2\tz\n", "bad end"},
+		{"order", "1\t9\t3\n", "start 9 > end 3"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadText(strings.NewReader(tt.src), "x")
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+// Property: stats bounds always bracket every member interval.
+func TestStatsBracketProperty(t *testing.T) {
+	f := func(raw []struct {
+		S int32
+		L uint8
+	}) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := &Collection{Name: "p"}
+		for i, r := range raw {
+			c.Add(Interval{ID: int64(i), Start: int64(r.S), End: int64(r.S) + int64(r.L)})
+		}
+		s := c.ComputeStats()
+		for _, iv := range c.Items {
+			if iv.Start < s.MinStart || iv.End > s.MaxEnd {
+				return false
+			}
+			if iv.Length() < s.MinLength || iv.Length() > s.MaxLength {
+				return false
+			}
+		}
+		return s.MinLength >= 0 && s.AvgLength >= float64(s.MinLength) && s.AvgLength <= float64(s.MaxLength)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

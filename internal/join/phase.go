@@ -1,0 +1,210 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"tkij/internal/distribute"
+	"tkij/internal/interval"
+	"tkij/internal/mapreduce"
+	"tkij/internal/query"
+	"tkij/internal/stats"
+	"tkij/internal/topbuckets"
+)
+
+// Output is the outcome of the distributed join + merge phases.
+type Output struct {
+	// Results is the final top-k, sorted by descending score.
+	Results []Result
+	// JoinMetrics covers the join Map-Reduce job; its ShuffleRecords is
+	// the replication cost DTB minimizes.
+	JoinMetrics *mapreduce.Metrics
+	// MergeMetrics covers the final merge job.
+	MergeMetrics *mapreduce.Metrics
+	// Locals reports each reducer's local join statistics, indexed by
+	// reducer.
+	Locals []LocalStats
+}
+
+// routeChunk is one map input: a slice of one collection plus the
+// routing tables (shared, read-only).
+type routeChunk struct {
+	col   int
+	items []interval.Interval
+}
+
+// routed is one shuffled record: an interval tagged with its bucket.
+type routed struct {
+	col    int
+	bucket stats.BucketKey
+	iv     interval.Interval
+}
+
+// reducerOut is one reduce task's full output.
+type reducerOut struct {
+	reducer int
+	results []Result
+	stats   LocalStats
+}
+
+const routeChunkSize = 8192
+
+// Run executes steps (c)-(e) of Figure 5: the join Map-Reduce job using
+// the given workload assignment, followed by the merge job. cols[i] is
+// the collection of query vertex i; matrices supply the granulations
+// used to route intervals to buckets.
+func Run(q *query.Query, cols []*interval.Collection, matrices []*stats.Matrix,
+	combos []topbuckets.Combo, assign *distribute.Assignment, k int,
+	cfg mapreduce.Config, opts LocalOptions) (*Output, error) {
+
+	if len(cols) != q.NumVertices || len(matrices) != q.NumVertices {
+		return nil, fmt.Errorf("join: query %s has %d vertices but %d collections / %d matrices",
+			q.Name, q.NumVertices, len(cols), len(matrices))
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("join: k must be >= 1, got %d", k)
+	}
+	cfg.Reducers = assign.Reducers
+
+	// Per-reducer combination lists, in the assignment's order.
+	reducerCombos := make([][]topbuckets.Combo, assign.Reducers)
+	for rj, idxs := range assign.ReducerCombos {
+		for _, ci := range idxs {
+			reducerCombos[rj] = append(reducerCombos[rj], combos[ci])
+		}
+	}
+
+	var inputs []routeChunk
+	for col, c := range cols {
+		for lo := 0; lo < len(c.Items); lo += routeChunkSize {
+			hi := lo + routeChunkSize
+			if hi > len(c.Items) {
+				hi = len(c.Items)
+			}
+			inputs = append(inputs, routeChunk{col: col, items: c.Items[lo:hi]})
+		}
+	}
+
+	plan := newPlan(q)
+	grans := make([]stats.Granulation, q.NumVertices)
+	for v := range grans {
+		grans[v] = matrices[v].Gran
+	}
+	joinJob := mapreduce.Job[routeChunk, int, routed, reducerOut]{
+		Name: "rtj-join",
+		Map: func(in routeChunk, emit func(int, routed)) error {
+			gran := matrices[in.col].Gran
+			for _, iv := range in.items {
+				l, lp := gran.BucketOf(iv)
+				key := stats.BucketKey{Col: in.col, StartG: l, EndG: lp}
+				// Intervals in pruned buckets are never shuffled — the
+				// I/O saving TopBuckets buys.
+				for _, rj := range assign.BucketReducers[key] {
+					emit(rj, routed{col: in.col, bucket: key, iv: iv})
+				}
+			}
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition,
+		Reduce: func(rj int, values []routed, emit func(reducerOut)) error {
+			data := make(map[stats.BucketKey][]interval.Interval)
+			for _, v := range values {
+				data[v.bucket] = append(data[v.bucket], v.iv)
+			}
+			lj := newLocalJoiner(plan, k, opts, data, grans)
+			results := lj.Run(reducerCombos[rj])
+			lj.stats.Reducer = rj
+			emit(reducerOut{reducer: rj, results: results, stats: lj.stats})
+			return nil
+		},
+	}
+	joinOut, joinMetrics, err := mapreduce.Run(joinJob, inputs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("join: join phase: %w", err)
+	}
+
+	out := &Output{JoinMetrics: joinMetrics, Locals: make([]LocalStats, assign.Reducers)}
+	for _, ro := range joinOut {
+		out.Locals[ro.reducer] = ro.stats
+	}
+
+	// Merge phase (Figure 5e): a single-reducer Map-Reduce job combining
+	// local lists into the global top-k.
+	mergeJob := mapreduce.Job[reducerOut, int, []Result, []Result]{
+		Name: "rtj-merge",
+		Map: func(in reducerOut, emit func(int, []Result)) error {
+			emit(0, in.results)
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition,
+		Reduce: func(_ int, lists [][]Result, emit func([]Result)) error {
+			topk := NewTopK(k)
+			for _, list := range lists {
+				for _, r := range list {
+					topk.Add(r)
+				}
+			}
+			emit(topk.Results())
+			return nil
+		},
+	}
+	mergeOut, mergeMetrics, err := mapreduce.Run(mergeJob, joinOut, mapreduce.Config{Mappers: cfg.Mappers, Reducers: 1})
+	if err != nil {
+		return nil, fmt.Errorf("join: merge phase: %w", err)
+	}
+	out.MergeMetrics = mergeMetrics
+	if len(mergeOut) == 1 {
+		out.Results = mergeOut[0]
+	}
+	return out, nil
+}
+
+// Exhaustive computes the exact top-k by enumerating the full cross
+// product in memory — the correctness oracle for tests and the
+// score-distribution study of Figure 7. It is exponential in the number
+// of collections; use only at test scale.
+func Exhaustive(q *query.Query, cols []*interval.Collection, k int) ([]Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cols) != q.NumVertices {
+		return nil, fmt.Errorf("join: %d collections for %d vertices", len(cols), q.NumVertices)
+	}
+	topk := NewTopK(k)
+	tuple := make([]interval.Interval, q.NumVertices)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == q.NumVertices {
+			topk.Add(Result{Tuple: append([]interval.Interval(nil), tuple...), Score: q.Score(tuple)})
+			return
+		}
+		for _, iv := range cols[v].Items {
+			tuple[v] = iv
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	return topk.Results(), nil
+}
+
+// ScoreMultisetEqual reports whether two result lists carry the same
+// multiset of scores (the comparable notion of top-k equality under
+// ties), within epsilon.
+func ScoreMultisetEqual(a, b []Result, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := make([]float64, len(a))
+	bs := make([]float64, len(b))
+	for i := range a {
+		as[i], bs[i] = a[i].Score, b[i].Score
+	}
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	for i := range as {
+		if diff := as[i] - bs[i]; diff > eps || diff < -eps {
+			return false
+		}
+	}
+	return true
+}

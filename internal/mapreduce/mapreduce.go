@@ -1,0 +1,247 @@
+// Package mapreduce is an in-process Map-Reduce engine: the substrate
+// standing in for the paper's Hadoop cluster (§4 runs on 8 nodes with 24
+// reducers). Jobs follow the classic model — map over input splits,
+// shuffle emitted key/value pairs to reduce partitions, group by key,
+// reduce — with parallel map and reduce tasks backed by goroutines.
+//
+// The engine tracks the quantities the paper's analysis depends on:
+// records shuffled (replication/I-O cost, §3.4), per-reduce-task wall
+// time (load imbalance, Figure 10b) and output counts. Absolute wall
+// times differ from a real cluster, but the relative shapes — which
+// strategy shuffles less, which reducer finishes last — are preserved.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config controls the degree of parallelism of a job.
+type Config struct {
+	// Mappers is the number of parallel map tasks. Defaults to
+	// GOMAXPROCS when zero.
+	Mappers int
+	// Reducers is the number of reduce partitions (the paper uses 24).
+	// Defaults to 1 when zero.
+	Reducers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mappers <= 0 {
+		c.Mappers = runtime.GOMAXPROCS(0)
+	}
+	if c.Reducers <= 0 {
+		c.Reducers = 1
+	}
+	return c
+}
+
+// Job describes one Map-Reduce job over inputs of type I, intermediate
+// key/value pairs (K, V) and outputs of type O.
+type Job[I any, K comparable, V any, O any] struct {
+	// Name labels the job in metrics.
+	Name string
+	// Map processes one input record and emits intermediate pairs.
+	// Returning an error aborts the job.
+	Map func(in I, emit func(K, V)) error
+	// Partition routes a key to a reduce partition in [0, reducers).
+	// When nil, a hash partitioner is used.
+	Partition func(key K, reducers int) int
+	// Reduce processes one key group and emits output records.
+	// Returning an error aborts the job.
+	Reduce func(key K, values []V, emit func(O)) error
+}
+
+// TaskMetrics records one reduce task's work.
+type TaskMetrics struct {
+	Partition  int
+	RecordsIn  int
+	RecordsOut int
+	Keys       int
+	Duration   time.Duration
+}
+
+// Metrics summarizes a completed job.
+type Metrics struct {
+	Job            string
+	MapTasks       int
+	ReduceTasks    []TaskMetrics
+	InputRecords   int
+	ShuffleRecords int
+	OutputRecords  int
+	MapDuration    time.Duration
+	Total          time.Duration
+}
+
+// MaxReduceDuration returns the wall time of the slowest reduce task —
+// the job's critical path, which the paper plots in Figure 8b.
+func (m *Metrics) MaxReduceDuration() time.Duration {
+	var max time.Duration
+	for _, t := range m.ReduceTasks {
+		if t.Duration > max {
+			max = t.Duration
+		}
+	}
+	return max
+}
+
+// AvgReduceDuration returns the mean reduce task wall time.
+func (m *Metrics) AvgReduceDuration() time.Duration {
+	if len(m.ReduceTasks) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, t := range m.ReduceTasks {
+		sum += t.Duration
+	}
+	return sum / time.Duration(len(m.ReduceTasks))
+}
+
+// Imbalance returns max/avg reduce duration (Figure 10b's metric), or 0
+// when there are no reduce tasks.
+func (m *Metrics) Imbalance() float64 {
+	avg := m.AvgReduceDuration()
+	if avg == 0 {
+		return 0
+	}
+	return float64(m.MaxReduceDuration()) / float64(avg)
+}
+
+var hashSeed = maphash.MakeSeed()
+
+func defaultPartition[K comparable](key K, reducers int) int {
+	return int(maphash.Comparable(hashSeed, key) % uint64(reducers))
+}
+
+// Run executes the job on inputs and returns all reduce outputs
+// (concatenated in partition order; ordering within a partition follows
+// reduce emission order, with key groups processed in first-seen order
+// so runs are deterministic for a fixed input order and mapper count).
+func Run[I any, K comparable, V any, O any](job Job[I, K, V, O], inputs []I, cfg Config) ([]O, *Metrics, error) {
+	cfg = cfg.withDefaults()
+	if job.Map == nil || job.Reduce == nil {
+		return nil, nil, fmt.Errorf("mapreduce: job %q needs Map and Reduce", job.Name)
+	}
+	partition := job.Partition
+	if partition == nil {
+		partition = defaultPartition[K]
+	}
+
+	start := time.Now()
+	metrics := &Metrics{Job: job.Name, MapTasks: cfg.Mappers, InputRecords: len(inputs)}
+
+	// ---- Map phase. Each mapper owns one input chunk and a private set
+	// of per-partition output buffers, so no locking in the hot path.
+	type kv struct {
+		key K
+		val V
+	}
+	mapOut := make([][][]kv, cfg.Mappers) // [mapper][partition][]kv
+	errs := make([]error, cfg.Mappers)
+	var wg sync.WaitGroup
+	chunk := (len(inputs) + cfg.Mappers - 1) / cfg.Mappers
+	for m := 0; m < cfg.Mappers; m++ {
+		lo := m * chunk
+		if lo >= len(inputs) {
+			mapOut[m] = make([][]kv, cfg.Reducers)
+			continue
+		}
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		wg.Add(1)
+		go func(m, lo, hi int) {
+			defer wg.Done()
+			buffers := make([][]kv, cfg.Reducers)
+			emit := func(k K, v V) {
+				p := partition(k, cfg.Reducers)
+				if p < 0 || p >= cfg.Reducers {
+					p = 0
+				}
+				buffers[p] = append(buffers[p], kv{k, v})
+			}
+			for _, in := range inputs[lo:hi] {
+				if err := job.Map(in, emit); err != nil {
+					errs[m] = fmt.Errorf("mapreduce: job %q map task %d: %w", job.Name, m, err)
+					return
+				}
+			}
+			mapOut[m] = buffers
+		}(m, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, metrics, err
+		}
+	}
+	metrics.MapDuration = time.Since(start)
+
+	// ---- Shuffle + Reduce phase. One goroutine per reduce partition.
+	outs := make([][]O, cfg.Reducers)
+	taskMetrics := make([]TaskMetrics, cfg.Reducers)
+	rerrs := make([]error, cfg.Reducers)
+	var rwg sync.WaitGroup
+	for r := 0; r < cfg.Reducers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			taskStart := time.Now()
+			tm := TaskMetrics{Partition: r}
+			// Group by key preserving first-seen order for determinism.
+			groups := make(map[K][]V)
+			var order []K
+			for m := 0; m < cfg.Mappers; m++ {
+				for _, p := range mapOut[m][r] {
+					if _, seen := groups[p.key]; !seen {
+						order = append(order, p.key)
+					}
+					groups[p.key] = append(groups[p.key], p.val)
+					tm.RecordsIn++
+				}
+			}
+			tm.Keys = len(order)
+			emit := func(o O) {
+				outs[r] = append(outs[r], o)
+				tm.RecordsOut++
+			}
+			for _, k := range order {
+				if err := job.Reduce(k, groups[k], emit); err != nil {
+					rerrs[r] = fmt.Errorf("mapreduce: job %q reduce task %d key %v: %w", job.Name, r, k, err)
+					return
+				}
+			}
+			tm.Duration = time.Since(taskStart)
+			taskMetrics[r] = tm
+		}(r)
+	}
+	rwg.Wait()
+	for _, err := range rerrs {
+		if err != nil {
+			return nil, metrics, err
+		}
+	}
+
+	var all []O
+	for r := 0; r < cfg.Reducers; r++ {
+		metrics.ShuffleRecords += taskMetrics[r].RecordsIn
+		metrics.OutputRecords += taskMetrics[r].RecordsOut
+		all = append(all, outs[r]...)
+	}
+	metrics.ReduceTasks = taskMetrics
+	metrics.Total = time.Since(start)
+	return all, metrics, nil
+}
+
+// IdentityPartition routes integer keys directly to partitions — the
+// pattern TKIJ uses when keys already are reducer assignments.
+func IdentityPartition(key int, reducers int) int {
+	if key < 0 {
+		return 0
+	}
+	return key % reducers
+}

@@ -1,0 +1,240 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wordCount is the canonical MR smoke test.
+func wordCountJob() Job[string, string, int, string] {
+	return Job[string, string, int, string]{
+		Name: "wordcount",
+		Map: func(line string, emit func(string, int)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Reduce: func(key string, values []int, emit func(string)) error {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			emit(fmt.Sprintf("%s=%d", key, sum))
+			return nil
+		},
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	inputs := []string{"a b a", "b c", "a"}
+	out, m, err := Run(wordCountJob(), inputs, Config{Mappers: 2, Reducers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	want := []string{"a=3", "b=2", "c=1"}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	if m.InputRecords != 3 {
+		t.Errorf("InputRecords = %d, want 3", m.InputRecords)
+	}
+	if m.ShuffleRecords != 6 {
+		t.Errorf("ShuffleRecords = %d, want 6 (one per word occurrence)", m.ShuffleRecords)
+	}
+	if m.OutputRecords != 3 {
+		t.Errorf("OutputRecords = %d, want 3", m.OutputRecords)
+	}
+}
+
+// The engine must produce the same multiset of outputs regardless of
+// worker configuration.
+func TestDeterminismAcrossConfigs(t *testing.T) {
+	var inputs []string
+	for i := 0; i < 200; i++ {
+		inputs = append(inputs, fmt.Sprintf("w%d w%d w%d", i%7, i%13, i%3))
+	}
+	var baseline []string
+	for _, cfg := range []Config{
+		{Mappers: 1, Reducers: 1},
+		{Mappers: 4, Reducers: 3},
+		{Mappers: 16, Reducers: 24},
+		{},
+	} {
+		out, _, err := Run(wordCountJob(), inputs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(out)
+		if baseline == nil {
+			baseline = out
+			continue
+		}
+		if len(out) != len(baseline) {
+			t.Fatalf("cfg %+v: %d outputs, want %d", cfg, len(out), len(baseline))
+		}
+		for i := range out {
+			if out[i] != baseline[i] {
+				t.Fatalf("cfg %+v: output %d = %q, want %q", cfg, i, out[i], baseline[i])
+			}
+		}
+	}
+}
+
+func TestMoreMappersThanInputs(t *testing.T) {
+	out, _, err := Run(wordCountJob(), []string{"only one"}, Config{Mappers: 8, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, m, err := Run(wordCountJob(), nil, Config{Mappers: 3, Reducers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || m.ShuffleRecords != 0 {
+		t.Fatalf("out=%v shuffle=%d, want empty", out, m.ShuffleRecords)
+	}
+}
+
+func TestMapErrorAbortsJob(t *testing.T) {
+	sentinel := errors.New("boom")
+	job := Job[int, int, int, int]{
+		Name: "failmap",
+		Map: func(in int, emit func(int, int)) error {
+			if in == 13 {
+				return sentinel
+			}
+			emit(in, in)
+			return nil
+		},
+		Reduce: func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	}
+	inputs := make([]int, 100)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	_, _, err := Run(job, inputs, Config{Mappers: 4, Reducers: 2})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestReduceErrorAbortsJob(t *testing.T) {
+	sentinel := errors.New("reduce boom")
+	job := Job[int, int, int, int]{
+		Name: "failreduce",
+		Map:  func(in int, emit func(int, int)) error { emit(in%5, in); return nil },
+		Reduce: func(k int, vs []int, emit func(int)) error {
+			if k == 3 {
+				return sentinel
+			}
+			emit(len(vs))
+			return nil
+		},
+	}
+	inputs := make([]int, 50)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	_, _, err := Run(job, inputs, Config{Mappers: 3, Reducers: 4})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestNilFuncsRejected(t *testing.T) {
+	_, _, err := Run(Job[int, int, int, int]{Name: "nil"}, []int{1}, Config{})
+	if err == nil {
+		t.Fatal("nil Map/Reduce accepted")
+	}
+}
+
+func TestIdentityPartition(t *testing.T) {
+	if got := IdentityPartition(7, 4); got != 3 {
+		t.Errorf("IdentityPartition(7,4) = %d, want 3", got)
+	}
+	if got := IdentityPartition(-2, 4); got != 0 {
+		t.Errorf("IdentityPartition(-2,4) = %d, want 0", got)
+	}
+}
+
+func TestCustomPartitionRouting(t *testing.T) {
+	// All keys to partition 2; verify task metrics see the whole load.
+	job := Job[int, int, int, int]{
+		Name:      "route",
+		Map:       func(in int, emit func(int, int)) error { emit(in, in); return nil },
+		Partition: func(k, r int) int { return 2 },
+		Reduce:    func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	}
+	inputs := []int{1, 2, 3, 4, 5}
+	_, m, err := Run(job, inputs, Config{Mappers: 2, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range m.ReduceTasks {
+		want := 0
+		if tm.Partition == 2 {
+			want = 5
+		}
+		if tm.RecordsIn != want {
+			t.Errorf("partition %d RecordsIn = %d, want %d", tm.Partition, tm.RecordsIn, want)
+		}
+	}
+	if m.Imbalance() <= 1 && len(inputs) > 0 {
+		// With all records on one reducer, imbalance must exceed 1
+		// (max > avg across 4 tasks). Duration can be near-zero on fast
+		// machines, so only check when measurable.
+		if m.MaxReduceDuration() > 0 {
+			t.Errorf("Imbalance = %g, want > 1", m.Imbalance())
+		}
+	}
+}
+
+func TestOutOfRangePartitionClamped(t *testing.T) {
+	job := Job[int, int, int, int]{
+		Name:      "clamp",
+		Map:       func(in int, emit func(int, int)) error { emit(in, in); return nil },
+		Partition: func(k, r int) int { return -5 },
+		Reduce:    func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	}
+	out, _, err := Run(job, []int{1, 2, 3}, Config{Mappers: 1, Reducers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestMetricsAggregates(t *testing.T) {
+	m := &Metrics{ReduceTasks: []TaskMetrics{
+		{Duration: 10}, {Duration: 30}, {Duration: 20},
+	}}
+	if got := m.MaxReduceDuration(); got != 30 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := m.AvgReduceDuration(); got != 20 {
+		t.Errorf("Avg = %v", got)
+	}
+	if got := m.Imbalance(); got != 1.5 {
+		t.Errorf("Imbalance = %v", got)
+	}
+	empty := &Metrics{}
+	if empty.Imbalance() != 0 || empty.AvgReduceDuration() != 0 {
+		t.Error("empty metrics should be zero")
+	}
+}

@@ -1,0 +1,140 @@
+package query
+
+import (
+	"fmt"
+
+	"tkij/internal/scoring"
+)
+
+// This file implements Table 1: the named queries used throughout the
+// paper's evaluation. Chain queries connect x1 -> x2 -> x3; the cyclic
+// query Qs,f,m adds the closing meets(x1, x3) edge; star queries Qb*,
+// Qo*, Qm* fan out from x1 to x2..xn.
+
+// Env carries the dataset-dependent inputs some predicates need: the
+// parameter set of Table 2 and the average interval length (for
+// justBefore / shiftMeets).
+type Env struct {
+	Params scoring.PairParams
+	Avg    float64
+}
+
+// chain builds a 3-vertex chain query p1(x1,x2), p2(x2,x3).
+func chain(name string, p1, p2 *scoring.Predicate) *Query {
+	return MustNew(name, 3, []Edge{
+		{From: 0, To: 1, Pred: p1},
+		{From: 1, To: 2, Pred: p2},
+	}, scoring.Avg{})
+}
+
+// Qbb is Q_{b,b}: s-before(x1,x2), s-before(x2,x3).
+func Qbb(env Env) *Query {
+	return chain("Qb,b", scoring.Before(env.Params), scoring.Before(env.Params))
+}
+
+// Qff is Q_{f,f}: s-finishedBy twice.
+func Qff(env Env) *Query {
+	return chain("Qf,f", scoring.FinishedBy(env.Params), scoring.FinishedBy(env.Params))
+}
+
+// Qoo is Q_{o,o}: s-overlaps twice.
+func Qoo(env Env) *Query {
+	return chain("Qo,o", scoring.Overlaps(env.Params), scoring.Overlaps(env.Params))
+}
+
+// Qss is Q_{s,s}: s-starts twice.
+func Qss(env Env) *Query {
+	return chain("Qs,s", scoring.Starts(env.Params), scoring.Starts(env.Params))
+}
+
+// Qsfm is the cyclic Q_{s,f,m}: s-starts(x1,x2), s-finishedBy(x2,x3),
+// s-meets(x1,x3).
+func Qsfm(env Env) *Query {
+	return MustNew("Qs,f,m", 3, []Edge{
+		{From: 0, To: 1, Pred: scoring.Starts(env.Params)},
+		{From: 1, To: 2, Pred: scoring.FinishedBy(env.Params)},
+		{From: 0, To: 2, Pred: scoring.Meets(env.Params)},
+	}, scoring.Avg{})
+}
+
+// Qfb is Q_{f,b}: s-finishedBy(x1,x2), s-before(x2,x3).
+func Qfb(env Env) *Query {
+	return chain("Qf,b", scoring.FinishedBy(env.Params), scoring.Before(env.Params))
+}
+
+// Qom is Q_{o,m}: s-overlaps(x1,x2), s-meets(x2,x3).
+func Qom(env Env) *Query {
+	return chain("Qo,m", scoring.Overlaps(env.Params), scoring.Meets(env.Params))
+}
+
+// Qsm is Q_{s,m}: s-starts(x1,x2), s-meets(x2,x3).
+func Qsm(env Env) *Query {
+	return chain("Qs,m", scoring.Starts(env.Params), scoring.Meets(env.Params))
+}
+
+// QjBjB is Q_{jB,jB}: s-justBefore(x1,x2), s-justBefore(x2,x3).
+func QjBjB(env Env) *Query {
+	return chain("QjB,jB",
+		scoring.JustBefore(env.Params, env.Avg),
+		scoring.JustBefore(env.Params, env.Avg))
+}
+
+// QsMsM is Q_{sM,sM}: s-shiftMeets(x1,x2), s-shiftMeets(x2,x3).
+func QsMsM(env Env) *Query {
+	return chain("QsM,sM",
+		scoring.ShiftMeets(env.Params, env.Avg),
+		scoring.ShiftMeets(env.Params, env.Avg))
+}
+
+// star builds an n-vertex star query p(x1,x2), ..., p(x1,xn) with a
+// fresh predicate instance per edge.
+func star(name string, n int, ctor func() *scoring.Predicate) *Query {
+	if n < 2 {
+		panic(fmt.Sprintf("query: star %s needs n >= 2, got %d", name, n))
+	}
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{From: 0, To: i, Pred: ctor()})
+	}
+	return MustNew(name, n, edges, scoring.Avg{})
+}
+
+// QbStar is Q_{b*}: s-before(x1, xi) for i = 2..n.
+func QbStar(env Env, n int) *Query {
+	return star(fmt.Sprintf("Qb*(n=%d)", n), n, func() *scoring.Predicate { return scoring.Before(env.Params) })
+}
+
+// QoStar is Q_{o*}: s-overlaps(x1, xi) for i = 2..n.
+func QoStar(env Env, n int) *Query {
+	return star(fmt.Sprintf("Qo*(n=%d)", n), n, func() *scoring.Predicate { return scoring.Overlaps(env.Params) })
+}
+
+// QmStar is Q_{m*}: s-meets(x1, xi) for i = 2..n.
+func QmStar(env Env, n int) *Query {
+	return star(fmt.Sprintf("Qm*(n=%d)", n), n, func() *scoring.Predicate { return scoring.Meets(env.Params) })
+}
+
+// Catalog maps the fixed-arity Table-1 query names to constructors. The
+// star queries are excluded because they take an extra arity argument.
+var Catalog = map[string]func(Env) *Query{
+	"Qb,b":   Qbb,
+	"Qf,f":   Qff,
+	"Qo,o":   Qoo,
+	"Qs,s":   Qss,
+	"Qs,f,m": Qsfm,
+	"Qf,b":   Qfb,
+	"Qo,m":   Qom,
+	"Qs,m":   Qsm,
+	"QjB,jB": QjBjB,
+	"QsM,sM": QsMsM,
+}
+
+// ByName builds the named Table-1 query, or returns an error listing the
+// valid names.
+func ByName(name string, env Env) (*Query, error) {
+	ctor, ok := Catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown query %q (want one of the Table-1 names, e.g. Qb,b)", name)
+	}
+	return ctor(env), nil
+}

@@ -1,0 +1,182 @@
+// Package rtree provides a static, bulk-loaded 2-D R-tree over points.
+// TKIJ's reducers index each bucket's intervals as (start, end) points
+// and probe them with axis-aligned boxes derived from predicate score
+// thresholds (§4 "Distributed join processing": local query execution
+// "uses R-Trees to access intervals in memory" and retrieves only
+// intervals whose predicate score reaches the current threshold).
+//
+// The tree is packed with the Sort-Tile-Recursive (STR) algorithm:
+// points are sorted by x, tiled into vertical slices, and each slice is
+// sorted by y and chunked into leaves, giving near-optimal space
+// utilization for static data — the right fit here because bucket
+// contents never change during a join.
+package rtree
+
+import (
+	"math"
+	"sort"
+)
+
+// fanout is the maximum number of entries per node.
+const fanout = 16
+
+// Point is an indexed 2-D point. Ref carries the caller's identifier
+// (typically an index into the bucket's interval slice).
+type Point struct {
+	X, Y float64
+	Ref  int32
+}
+
+// Rect is a closed axis-aligned box.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Everything returns the rectangle covering the whole plane.
+func Everything() Rect {
+	inf := math.Inf(1)
+	return Rect{MinX: -inf, MinY: -inf, MaxX: inf, MaxY: inf}
+}
+
+// Contains reports whether the point lies inside the rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Intersects reports whether two rectangles share any point.
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Intersect clips r to o. The result may be empty (Min > Max).
+func (r Rect) Intersect(o Rect) Rect {
+	return Rect{
+		MinX: math.Max(r.MinX, o.MinX),
+		MinY: math.Max(r.MinY, o.MinY),
+		MaxX: math.Min(r.MaxX, o.MaxX),
+		MaxY: math.Min(r.MaxY, o.MaxY),
+	}
+}
+
+// Empty reports whether the rectangle contains no points.
+func (r Rect) Empty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+type node struct {
+	bbox     Rect
+	children []*node // nil for leaves
+	points   []Point // nil for internal nodes
+}
+
+// Tree is an immutable bulk-loaded R-tree. The zero value is an empty
+// tree ready to query.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Bulk builds a tree over the given points using STR packing. The input
+// slice is reordered in place.
+func Bulk(points []Point) *Tree {
+	t := &Tree{size: len(points)}
+	if len(points) == 0 {
+		return t
+	}
+	// Leaf level: sort by x, tile into ceil(sqrt(P)) vertical slices,
+	// each sorted by y and chunked into leaves.
+	leafCount := (len(points) + fanout - 1) / fanout
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sliceSize := sliceCount * fanout
+	sort.Slice(points, func(i, j int) bool { return points[i].X < points[j].X })
+	var leaves []*node
+	for lo := 0; lo < len(points); lo += sliceSize {
+		hi := lo + sliceSize
+		if hi > len(points) {
+			hi = len(points)
+		}
+		slice := points[lo:hi]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].Y < slice[j].Y })
+		for plo := 0; plo < len(slice); plo += fanout {
+			phi := plo + fanout
+			if phi > len(slice) {
+				phi = len(slice)
+			}
+			leaf := &node{points: slice[plo:phi]}
+			leaf.bbox = bboxOfPoints(leaf.points)
+			leaves = append(leaves, leaf)
+		}
+	}
+	// Pack upper levels until a single root remains.
+	level := leaves
+	for len(level) > 1 {
+		var next []*node
+		for lo := 0; lo < len(level); lo += fanout {
+			hi := lo + fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			n := &node{children: level[lo:hi]}
+			n.bbox = bboxOfNodes(n.children)
+			next = append(next, n)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+func bboxOfPoints(ps []Point) Rect {
+	r := Rect{MinX: ps[0].X, MinY: ps[0].Y, MaxX: ps[0].X, MaxY: ps[0].Y}
+	for _, p := range ps[1:] {
+		r.MinX = math.Min(r.MinX, p.X)
+		r.MinY = math.Min(r.MinY, p.Y)
+		r.MaxX = math.Max(r.MaxX, p.X)
+		r.MaxY = math.Max(r.MaxY, p.Y)
+	}
+	return r
+}
+
+func bboxOfNodes(ns []*node) Rect {
+	r := ns[0].bbox
+	for _, n := range ns[1:] {
+		r.MinX = math.Min(r.MinX, n.bbox.MinX)
+		r.MinY = math.Min(r.MinY, n.bbox.MinY)
+		r.MaxX = math.Max(r.MaxX, n.bbox.MaxX)
+		r.MaxY = math.Max(r.MaxY, n.bbox.MaxY)
+	}
+	return r
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Search visits every point inside query, in unspecified order. The
+// callback returns false to stop early. Search reports whether the
+// traversal ran to completion.
+func (t *Tree) Search(query Rect, visit func(Point) bool) bool {
+	if t.root == nil || query.Empty() {
+		return true
+	}
+	return searchNode(t.root, query, visit)
+}
+
+func searchNode(n *node, query Rect, visit func(Point) bool) bool {
+	if !n.bbox.Intersects(query) {
+		return true
+	}
+	if n.children == nil {
+		for _, p := range n.points {
+			if query.Contains(p) {
+				if !visit(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !searchNode(c, query, visit) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Point, n)
+	for i := range ps {
+		ps[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, Ref: int32(i)}
+	}
+	return ps
+}
+
+func refsInRect(ps []Point, r Rect) []int32 {
+	var out []int32
+	for _, p := range ps {
+		if r.Contains(p) {
+			out = append(out, p.Ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func searchRefs(t *Tree, r Rect) []int32 {
+	var out []int32
+	t.Search(r, func(p Point) bool {
+		out = append(out, p.Ref)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 16, 17, 100, 5000} {
+		orig := randPoints(n, int64(n))
+		cp := append([]Point(nil), orig...)
+		tree := Bulk(cp)
+		if tree.Len() != n {
+			t.Fatalf("Len = %d, want %d", tree.Len(), n)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 50; trial++ {
+			x1, y1 := rng.Float64()*1000, rng.Float64()*1000
+			r := Rect{MinX: x1, MinY: y1, MaxX: x1 + rng.Float64()*300, MaxY: y1 + rng.Float64()*300}
+			want := refsInRect(orig, r)
+			got := searchRefs(tree, r)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: got %d refs, want %d", n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d: refs differ at %d", n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchEverything(t *testing.T) {
+	tree := Bulk(randPoints(777, 5))
+	count := 0
+	tree.Search(Everything(), func(Point) bool { count++; return true })
+	if count != 777 {
+		t.Fatalf("Everything visited %d, want 777", count)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tree := Bulk(randPoints(1000, 6))
+	count := 0
+	completed := tree.Search(Everything(), func(Point) bool {
+		count++
+		return count < 10
+	})
+	if completed {
+		t.Error("Search reported completion despite early stop")
+	}
+	if count != 10 {
+		t.Fatalf("visited %d, want 10", count)
+	}
+}
+
+func TestEmptyTreeAndEmptyRect(t *testing.T) {
+	var zero Tree
+	if !zero.Search(Everything(), func(Point) bool { t.Fatal("visited point in empty tree"); return true }) {
+		t.Error("empty tree search should complete")
+	}
+	tree := Bulk(randPoints(50, 7))
+	empty := Rect{MinX: 10, MaxX: 5, MinY: 0, MaxY: 1}
+	if !empty.Empty() {
+		t.Fatal("inverted rect not Empty")
+	}
+	tree.Search(empty, func(Point) bool { t.Fatal("visited point for empty rect"); return true })
+}
+
+func TestRectOps(t *testing.T) {
+	a := Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	b := Rect{MinX: 5, MinY: 5, MaxX: 15, MaxY: 15}
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	c := a.Intersect(b)
+	if c != (Rect{MinX: 5, MinY: 5, MaxX: 10, MaxY: 10}) {
+		t.Errorf("Intersect = %+v", c)
+	}
+	far := Rect{MinX: 100, MinY: 100, MaxX: 110, MaxY: 110}
+	if a.Intersects(far) {
+		t.Error("a should not intersect far")
+	}
+	if !a.Intersect(far).Empty() {
+		t.Error("disjoint intersection should be empty")
+	}
+	if !a.Contains(Point{X: 10, Y: 10}) {
+		t.Error("boundary point should be contained")
+	}
+	if a.Contains(Point{X: 10.001, Y: 10}) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	ps := make([]Point, 100)
+	for i := range ps {
+		ps[i] = Point{X: 5, Y: 5, Ref: int32(i)}
+	}
+	tree := Bulk(ps)
+	got := searchRefs(tree, Rect{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5})
+	if len(got) != 100 {
+		t.Fatalf("found %d duplicates, want 100", len(got))
+	}
+}

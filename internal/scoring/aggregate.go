@@ -1,0 +1,106 @@
+package scoring
+
+import "fmt"
+
+// Aggregator is a monotone function S combining the partial scores
+// assigned by each query edge into one tuple score (§2). Monotonicity
+// (nondecreasing in every argument) is what makes the loose strategy's
+// bound aggregation sound (§3.3), so every implementation must satisfy
+// it.
+type Aggregator interface {
+	// Aggregate combines per-edge scores into a tuple score.
+	Aggregate(scores []float64) float64
+	// Name identifies the aggregator in diagnostics.
+	Name() string
+}
+
+// Avg is the paper's evaluation aggregator: the normalized sum
+// S = Σ s-p / |E| (§4, "Queries"). It keeps tuple scores in [0, 1].
+type Avg struct{}
+
+// Aggregate implements Aggregator.
+func (Avg) Aggregate(scores []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	return sum / float64(len(scores))
+}
+
+// Name implements Aggregator.
+func (Avg) Name() string { return "avg" }
+
+// Sum is the unnormalized sum of partial scores.
+type Sum struct{}
+
+// Aggregate implements Aggregator.
+func (Sum) Aggregate(scores []float64) float64 {
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	return sum
+}
+
+// Name implements Aggregator.
+func (Sum) Name() string { return "sum" }
+
+// Min scores a tuple by its weakest edge.
+type Min struct{}
+
+// Aggregate implements Aggregator.
+func (Min) Aggregate(scores []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	m := scores[0]
+	for _, s := range scores[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Name implements Aggregator.
+func (Min) Name() string { return "min" }
+
+// WeightedSum is Σ w_i·s_i / Σ w_i; weights must be positive to preserve
+// monotonicity. With all weights equal it coincides with Avg.
+type WeightedSum struct {
+	Weights []float64
+}
+
+// NewWeightedSum validates the weights and builds the aggregator.
+func NewWeightedSum(weights []float64) (*WeightedSum, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("scoring: weighted sum needs at least one weight")
+	}
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("scoring: weight %d is %g, want > 0", i, w)
+		}
+	}
+	return &WeightedSum{Weights: weights}, nil
+}
+
+// Aggregate implements Aggregator. It panics if called with a different
+// number of scores than weights, which indicates a query-construction
+// bug rather than a data error.
+func (w *WeightedSum) Aggregate(scores []float64) float64 {
+	if len(scores) != len(w.Weights) {
+		panic(fmt.Sprintf("scoring: %d scores for %d weights", len(scores), len(w.Weights)))
+	}
+	var num, den float64
+	for i, s := range scores {
+		num += w.Weights[i] * s
+		den += w.Weights[i]
+	}
+	return num / den
+}
+
+// Name implements Aggregator.
+func (w *WeightedSum) Name() string { return "weighted-sum" }

@@ -1,0 +1,165 @@
+package scoring
+
+// This file defines the predicate catalog: the seven Allen-algebra
+// predicates of Figure 2 plus the three custom predicates of Figure 4
+// (justBefore, shiftMeets, sparks). Each constructor takes the PairParams
+// that tune its comparators; the Boolean interpretation is recovered by
+// passing PB (all zeros).
+
+// Before builds s-before(x, y) = greater(y̲, x̄): x ends before y starts.
+func Before(pp PairParams) *Predicate {
+	return &Predicate{
+		Name:  "s-before",
+		Terms: []Term{NewTerm(CompGreater, Var(YStart), Var(XEnd), pp.Greater)},
+	}
+}
+
+// Equals builds s-equals(x, y) = min{equals(x̲, y̲), equals(x̄, ȳ)}.
+func Equals(pp PairParams) *Predicate {
+	return &Predicate{
+		Name: "s-equals",
+		Terms: []Term{
+			NewTerm(CompEquals, Var(XStart), Var(YStart), pp.Equals),
+			NewTerm(CompEquals, Var(XEnd), Var(YEnd), pp.Equals),
+		},
+	}
+}
+
+// Meets builds s-meets(x, y) = equals(x̄, y̲): y starts when x finishes.
+func Meets(pp PairParams) *Predicate {
+	return &Predicate{
+		Name:  "s-meets",
+		Terms: []Term{NewTerm(CompEquals, Var(XEnd), Var(YStart), pp.Equals)},
+	}
+}
+
+// Overlaps builds s-overlaps(x, y) = min{greater(y̲, x̲), greater(x̄, y̲),
+// greater(ȳ, x̄)}: x starts first, y starts inside x, y ends after x.
+func Overlaps(pp PairParams) *Predicate {
+	return &Predicate{
+		Name: "s-overlaps",
+		Terms: []Term{
+			NewTerm(CompGreater, Var(YStart), Var(XStart), pp.Greater),
+			NewTerm(CompGreater, Var(XEnd), Var(YStart), pp.Greater),
+			NewTerm(CompGreater, Var(YEnd), Var(XEnd), pp.Greater),
+		},
+	}
+}
+
+// Contains builds s-contains(x, y) = min{greater(y̲, x̲), greater(x̄, ȳ)}:
+// x strictly contains y.
+func Contains(pp PairParams) *Predicate {
+	return &Predicate{
+		Name: "s-contains",
+		Terms: []Term{
+			NewTerm(CompGreater, Var(YStart), Var(XStart), pp.Greater),
+			NewTerm(CompGreater, Var(XEnd), Var(YEnd), pp.Greater),
+		},
+	}
+}
+
+// Starts builds s-starts(x, y) = min{equals(x̲, y̲), greater(ȳ, x̄)}:
+// x and y start together and x ends first.
+func Starts(pp PairParams) *Predicate {
+	return &Predicate{
+		Name: "s-starts",
+		Terms: []Term{
+			NewTerm(CompEquals, Var(XStart), Var(YStart), pp.Equals),
+			NewTerm(CompGreater, Var(YEnd), Var(XEnd), pp.Greater),
+		},
+	}
+}
+
+// FinishedBy builds s-finishedBy(x, y) = min{greater(y̲, x̲),
+// equals(x̄, ȳ)}: x starts first and they finish together.
+func FinishedBy(pp PairParams) *Predicate {
+	return &Predicate{
+		Name: "s-finishedBy",
+		Terms: []Term{
+			NewTerm(CompGreater, Var(YStart), Var(XStart), pp.Greater),
+			NewTerm(CompEquals, Var(XEnd), Var(YEnd), pp.Equals),
+		},
+	}
+}
+
+// JustBefore builds s-justBefore(x, y) (Figure 4): y starts after x ends
+// and within the average interval length. Per the paper, λ_greater =
+// ρ_greater = 0 (the sequencing must strictly hold), λ_equals = avg and
+// ρ_equals comes from the caller's parameter set.
+//
+// avg is AVG_z(z̄ - z̲) over the joined collections (interval.AvgLength).
+func JustBefore(pp PairParams, avg float64) *Predicate {
+	return &Predicate{
+		Name: "s-justBefore",
+		Terms: []Term{
+			NewTerm(CompGreater, Var(YStart), Var(XEnd), Params{}),
+			NewTerm(CompEquals, Var(XEnd), Var(YStart), Params{Lambda: avg, Rho: pp.Equals.Rho}),
+		},
+	}
+}
+
+// ShiftMeets builds s-shiftMeets(x, y) = equals(x̄ + avg, y̲)
+// (Figure 4): y starts exactly one average-length after x ends.
+func ShiftMeets(pp PairParams, avg float64) *Predicate {
+	return &Predicate{
+		Name: "s-shiftMeets",
+		Terms: []Term{
+			NewTerm(CompEquals, VarPlus(XEnd, avg), Var(YStart), pp.Equals),
+		},
+	}
+}
+
+// Sparks builds s-sparks(x, y) = min{greater(y̲, x̄),
+// greater(ȳ - y̲, 10·(x̄ - x̲))} (Figure 4): y follows x and lasts more
+// than 10 times longer — the "short hashtag igniting a long one" pattern.
+func Sparks(pp PairParams) *Predicate {
+	lenY := Length(true)
+	lenX10 := Length(false)
+	for i := range lenX10.Coef {
+		lenX10.Coef[i] *= 10
+	}
+	return &Predicate{
+		Name: "s-sparks",
+		Terms: []Term{
+			NewTerm(CompGreater, Var(YStart), Var(XEnd), pp.Greater),
+			NewTerm(CompGreater, lenY, lenX10, pp.Greater),
+		},
+	}
+}
+
+// ByName returns the predicate constructor registered under name
+// ("before", "meets", ... or the "s-" prefixed forms). Predicates that
+// need the avg parameter (justBefore, shiftMeets) receive it; others
+// ignore it. ok is false for unknown names.
+func ByName(name string, pp PairParams, avg float64) (p *Predicate, ok bool) {
+	switch trimS(name) {
+	case "before":
+		return Before(pp), true
+	case "equals":
+		return Equals(pp), true
+	case "meets":
+		return Meets(pp), true
+	case "overlaps":
+		return Overlaps(pp), true
+	case "contains":
+		return Contains(pp), true
+	case "starts":
+		return Starts(pp), true
+	case "finishedBy", "finishedby":
+		return FinishedBy(pp), true
+	case "justBefore", "justbefore":
+		return JustBefore(pp, avg), true
+	case "shiftMeets", "shiftmeets":
+		return ShiftMeets(pp, avg), true
+	case "sparks":
+		return Sparks(pp), true
+	}
+	return nil, false
+}
+
+func trimS(name string) string {
+	if len(name) > 2 && name[0] == 's' && name[1] == '-' {
+		return name[2:]
+	}
+	return name
+}

@@ -1,0 +1,113 @@
+// Package scoring implements the paper's flexible predicate-scoring
+// framework (§2, Figures 2-4): graded equals/greater comparators on
+// interval endpoints controlled by tolerance parameters λ and ρ, scored
+// temporal predicates built as min-conjunctions of comparator terms, and
+// monotone aggregation functions combining partial predicate scores.
+package scoring
+
+// Params are the (λ, ρ) tolerance parameters of one comparator
+// (Figure 3). λ sets the tolerance band that still yields a full score;
+// ρ controls the width (and therefore the slope) of the linear ramp
+// between score 1 and score 0. λ = ρ = 0 degenerates to the exact
+// Boolean comparison.
+type Params struct {
+	Lambda float64
+	Rho    float64
+}
+
+// Boolean reports whether the parameters reduce the comparator to its
+// Boolean special case.
+func (p Params) Boolean() bool { return p.Lambda == 0 && p.Rho == 0 }
+
+// PairParams bundles the parameters used for the equals and greater
+// comparators of one scored predicate. The paper allows different λ/ρ
+// per comparator per predicate (§2).
+type PairParams struct {
+	Equals  Params
+	Greater Params
+}
+
+// The parameter sets of Table 2, used throughout the evaluation.
+var (
+	// P1 = (λ_equals, ρ_equals) = (4,16), (λ_greater, ρ_greater) = (0,10).
+	P1 = PairParams{Equals: Params{4, 16}, Greater: Params{0, 10}}
+	// P2 = (0,16), (2,8).
+	P2 = PairParams{Equals: Params{0, 16}, Greater: Params{2, 8}}
+	// P3 = (4,12), (0,8).
+	P3 = PairParams{Equals: Params{4, 12}, Greater: Params{0, 8}}
+	// PB = (0,0), (0,0): the Boolean interpretation.
+	PB = PairParams{}
+)
+
+// EqualsScore returns the graded degree of equality for an endpoint
+// difference d = x - y (Figure 3, left curve):
+//
+//	1                      when |d| <= λ
+//	(λ+ρ-|d|) / ρ          when λ < |d| < λ+ρ
+//	0                      when |d| >= λ+ρ
+//
+// With ρ = 0 the ramp collapses and the comparator is the Boolean test
+// |d| <= λ (exact equality when λ = 0 too).
+func EqualsScore(d float64, p Params) float64 {
+	ad := d
+	if ad < 0 {
+		ad = -ad
+	}
+	if ad <= p.Lambda {
+		return 1
+	}
+	if p.Rho == 0 || ad >= p.Lambda+p.Rho {
+		return 0
+	}
+	return (p.Lambda + p.Rho - ad) / p.Rho
+}
+
+// GreaterScore returns the graded degree to which x > y holds for the
+// endpoint difference d = x - y (Figure 3, right curve):
+//
+//	0              when d <= λ
+//	(d-λ) / ρ      when λ < d < λ+ρ
+//	1              when d >= λ+ρ
+//
+// With ρ = 0 the comparator is the Boolean test d > λ (strict x > y when
+// λ = 0).
+func GreaterScore(d float64, p Params) float64 {
+	e := d - p.Lambda
+	if e <= 0 {
+		return 0
+	}
+	if p.Rho == 0 || e >= p.Rho {
+		return 1
+	}
+	return e / p.Rho
+}
+
+// EqualsScoreRange returns the tight [min, max] of EqualsScore over all
+// d in [dlo, dhi]. EqualsScore is unimodal with its plateau at |d| <= λ,
+// decreasing in |d|, so the maximum is attained at the point of the
+// range closest to 0 and the minimum at the endpoint farthest from 0.
+func EqualsScoreRange(dlo, dhi float64, p Params) (min, max float64) {
+	// Max: nearest point to zero within [dlo, dhi].
+	var nearest float64
+	switch {
+	case dlo > 0:
+		nearest = dlo
+	case dhi < 0:
+		nearest = dhi
+	default:
+		nearest = 0
+	}
+	max = EqualsScore(nearest, p)
+	// Min: farthest endpoint from zero.
+	lo, hi := EqualsScore(dlo, p), EqualsScore(dhi, p)
+	if lo < hi {
+		return lo, max
+	}
+	return hi, max
+}
+
+// GreaterScoreRange returns the tight [min, max] of GreaterScore over
+// all d in [dlo, dhi]. GreaterScore is nondecreasing in d.
+func GreaterScoreRange(dlo, dhi float64, p Params) (min, max float64) {
+	return GreaterScore(dlo, p), GreaterScore(dhi, p)
+}

@@ -1,0 +1,178 @@
+package scoring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualsScoreShape(t *testing.T) {
+	p := Params{Lambda: 4, Rho: 8}
+	tests := []struct {
+		d    float64
+		want float64
+	}{
+		{0, 1}, {4, 1}, {-4, 1}, // plateau |d| <= λ
+		{12, 0}, {-12, 0}, {100, 0}, // zero beyond λ+ρ
+		{8, 0.5}, {-8, 0.5}, // midpoint of the ramp
+		{10, 0.25}, {6, 0.75}, // paper's s-meets example slope
+	}
+	for _, tt := range tests {
+		if got := EqualsScore(tt.d, p); got != tt.want {
+			t.Errorf("EqualsScore(%g) = %g, want %g", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestEqualsScoreBooleanSpecialCase(t *testing.T) {
+	p := Params{} // λ = ρ = 0
+	if got := EqualsScore(0, p); got != 1 {
+		t.Errorf("EqualsScore(0; 0,0) = %g, want 1", got)
+	}
+	for _, d := range []float64{0.001, -0.001, 1, -5} {
+		if got := EqualsScore(d, p); got != 0 {
+			t.Errorf("EqualsScore(%g; 0,0) = %g, want 0", d, got)
+		}
+	}
+}
+
+func TestEqualsScoreRhoZeroLambdaPositive(t *testing.T) {
+	// justBefore uses λ = avg with possibly ρ > 0; also test the pure
+	// step with ρ = 0, λ = 3.
+	p := Params{Lambda: 3}
+	for _, tt := range []struct {
+		d    float64
+		want float64
+	}{{3, 1}, {-3, 1}, {3.5, 0}, {-4, 0}} {
+		if got := EqualsScore(tt.d, p); got != tt.want {
+			t.Errorf("EqualsScore(%g; 3,0) = %g, want %g", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestGreaterScoreShape(t *testing.T) {
+	p := Params{Lambda: 2, Rho: 8}
+	tests := []struct {
+		d    float64
+		want float64
+	}{
+		{2, 0}, {0, 0}, {-10, 0}, // at or below λ
+		{10, 1}, {50, 1}, // at or above λ+ρ
+		{6, 0.5}, {4, 0.25}, // ramp
+	}
+	for _, tt := range tests {
+		if got := GreaterScore(tt.d, p); got != tt.want {
+			t.Errorf("GreaterScore(%g) = %g, want %g", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestGreaterScoreBooleanSpecialCase(t *testing.T) {
+	p := Params{}
+	if got := GreaterScore(0.5, p); got != 1 {
+		t.Errorf("GreaterScore(0.5; 0,0) = %g, want 1", got)
+	}
+	if got := GreaterScore(0, p); got != 0 {
+		t.Errorf("GreaterScore(0; 0,0) = %g, want 0 (strict)", got)
+	}
+	if got := GreaterScore(-1, p); got != 0 {
+		t.Errorf("GreaterScore(-1; 0,0) = %g, want 0", got)
+	}
+}
+
+func TestScoresInUnitIntervalProperty(t *testing.T) {
+	f := func(d float64, lam, rho uint8) bool {
+		p := Params{Lambda: float64(lam), Rho: float64(rho)}
+		e, g := EqualsScore(d, p), GreaterScore(d, p)
+		return e >= 0 && e <= 1 && g >= 0 && g <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualsScoreSymmetryProperty(t *testing.T) {
+	f := func(d float64, lam, rho uint8) bool {
+		p := Params{Lambda: float64(lam), Rho: float64(rho)}
+		return EqualsScore(d, p) == EqualsScore(-d, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreaterScoreMonotoneProperty(t *testing.T) {
+	f := func(a, b float64, lam, rho uint8) bool {
+		if a > b {
+			a, b = b, a
+		}
+		p := Params{Lambda: float64(lam), Rho: float64(rho)}
+		return GreaterScore(a, p) <= GreaterScore(b, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Ranges must bracket every sampled score, and be attained (tightness)
+// at some sample up to discretization.
+func TestScoreRangesBracketSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := Params{Lambda: float64(rng.Intn(10)), Rho: float64(rng.Intn(20))}
+		dlo := rng.Float64()*200 - 100
+		dhi := dlo + rng.Float64()*100
+		emin, emax := EqualsScoreRange(dlo, dhi, p)
+		gmin, gmax := GreaterScoreRange(dlo, dhi, p)
+		sawEmin, sawEmax := 1.0, 0.0
+		sawGmin, sawGmax := 1.0, 0.0
+		// Sample a grid plus the analytic extremum candidates (range
+		// endpoints and the point nearest zero, where equals peaks).
+		nearest := 0.0
+		if dlo > 0 {
+			nearest = dlo
+		} else if dhi < 0 {
+			nearest = dhi
+		}
+		samples := []float64{dlo, dhi, nearest}
+		const steps = 400
+		for i := 0; i <= steps; i++ {
+			samples = append(samples, dlo+(dhi-dlo)*float64(i)/steps)
+		}
+		for _, d := range samples {
+			e, g := EqualsScore(d, p), GreaterScore(d, p)
+			if e < emin-1e-12 || e > emax+1e-12 {
+				t.Fatalf("equals score %g outside range [%g,%g] at d=%g (λ=%g ρ=%g, box [%g,%g])",
+					e, emin, emax, d, p.Lambda, p.Rho, dlo, dhi)
+			}
+			if g < gmin-1e-12 || g > gmax+1e-12 {
+				t.Fatalf("greater score %g outside range [%g,%g] at d=%g", g, gmin, gmax, d)
+			}
+			sawEmin, sawEmax = min(sawEmin, e), max(sawEmax, e)
+			sawGmin, sawGmax = min(sawGmin, g), max(sawGmax, g)
+		}
+		// Tightness within sampling error.
+		const tol = 0.02
+		if sawEmax < emax-tol || sawEmin > emin+tol {
+			t.Fatalf("equals range [%g,%g] not tight: samples span [%g,%g]", emin, emax, sawEmin, sawEmax)
+		}
+		if sawGmax < gmax-tol || sawGmin > gmin+tol {
+			t.Fatalf("greater range [%g,%g] not tight: samples span [%g,%g]", gmin, gmax, sawGmin, sawGmax)
+		}
+	}
+}
+
+func TestPairParamsTable2(t *testing.T) {
+	if P1.Equals != (Params{4, 16}) || P1.Greater != (Params{0, 10}) {
+		t.Errorf("P1 = %+v, want (4,16)/(0,10)", P1)
+	}
+	if P2.Equals != (Params{0, 16}) || P2.Greater != (Params{2, 8}) {
+		t.Errorf("P2 = %+v", P2)
+	}
+	if P3.Equals != (Params{4, 12}) || P3.Greater != (Params{0, 8}) {
+		t.Errorf("P3 = %+v", P3)
+	}
+	if !PB.Equals.Boolean() || !PB.Greater.Boolean() {
+		t.Errorf("PB should be Boolean")
+	}
+}

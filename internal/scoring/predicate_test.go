@@ -1,0 +1,297 @@
+package scoring
+
+import (
+	"math/rand"
+	"testing"
+
+	"tkij/internal/interval"
+)
+
+func iv(start, end int64) interval.Interval {
+	return interval.Interval{Start: start, End: end}
+}
+
+// The worked example of §3.3: s-meets with (λ_equals, ρ_equals) = (4, 8).
+func TestMeetsPaperExample(t *testing.T) {
+	pp := PairParams{Equals: Params{4, 8}}
+	m := Meets(pp)
+	if got := m.Score(iv(12, 25), iv(25, 35)); got != 1 {
+		t.Errorf("s-meets([12,25],[25,35]) = %g, want 1", got)
+	}
+	if got := m.Score(iv(15, 20), iv(30, 35)); got != 0.25 {
+		t.Errorf("s-meets([15,20],[30,35]) = %g, want 0.25", got)
+	}
+}
+
+// The motivating example of §1 (Figure 1): with tolerance on meets,
+// (x4,y4) is perfect, and (x1,y3)/(x1,y1) are high-scoring.
+func TestMotivatingExampleRanking(t *testing.T) {
+	// Figure 1 approximate coordinates.
+	x1 := iv(3, 7)
+	x4 := iv(14, 18)
+	y1 := iv(10, 13)
+	y3 := iv(9, 12)
+	y4 := iv(18, 21)
+	m := Meets(PairParams{Equals: Params{2, 8}})
+	s44 := m.Score(x4, y4)
+	s13 := m.Score(x1, y3)
+	s11 := m.Score(x1, y1)
+	if s44 != 1 {
+		t.Errorf("s-meets(x4,y4) = %g, want 1", s44)
+	}
+	if !(s13 >= s11 && s11 > 0) {
+		t.Errorf("ranking violated: s13=%g s11=%g", s13, s11)
+	}
+}
+
+func TestBeforeScore(t *testing.T) {
+	b := Before(PairParams{Greater: Params{0, 10}})
+	if got := b.Score(iv(0, 5), iv(20, 30)); got != 1 {
+		t.Errorf("clear before = %g, want 1", got)
+	}
+	if got := b.Score(iv(0, 5), iv(10, 30)); got != 0.5 {
+		t.Errorf("ramp before = %g, want 0.5", got)
+	}
+	if got := b.Score(iv(0, 20), iv(10, 30)); got != 0 {
+		t.Errorf("overlapping before = %g, want 0", got)
+	}
+}
+
+// Scored predicates with PB parameters must agree exactly with the
+// Boolean Allen predicates on random data (score 1 <=> Bool true).
+func TestBooleanAgreementAtPB(t *testing.T) {
+	ctors := map[string]func(PairParams) *Predicate{
+		"before": Before, "equals": Equals, "meets": Meets,
+		"overlaps": Overlaps, "contains": Contains, "starts": Starts,
+		"finishedBy": FinishedBy, "sparks": Sparks,
+	}
+	rng := rand.New(rand.NewSource(7))
+	for name, ctor := range ctors {
+		p := ctor(PB)
+		for i := 0; i < 2000; i++ {
+			xs := rng.Int63n(40)
+			ys := rng.Int63n(40)
+			x := iv(xs, xs+rng.Int63n(12))
+			y := iv(ys, ys+rng.Int63n(12))
+			score := p.Score(x, y)
+			boolean := p.Bool(x, y)
+			if (score == 1) != boolean {
+				t.Fatalf("%s: score(%v,%v)=%g but Bool=%v", name, x, y, score, boolean)
+			}
+			if score != 0 && score != 1 {
+				t.Fatalf("%s: PB score must be 0/1, got %g", name, score)
+			}
+		}
+	}
+}
+
+func TestBooleanAllenSemantics(t *testing.T) {
+	// Hand-checked truth table entries, Boolean interpretation.
+	tests := []struct {
+		name string
+		p    *Predicate
+		x, y interval.Interval
+		want bool
+	}{
+		{"before yes", Before(PB), iv(0, 5), iv(6, 9), true},
+		{"before touch", Before(PB), iv(0, 5), iv(5, 9), false}, // x̄ < y̲ strict
+		{"equals yes", Equals(PB), iv(2, 8), iv(2, 8), true},
+		{"equals no", Equals(PB), iv(2, 8), iv(2, 9), false},
+		{"meets yes", Meets(PB), iv(0, 5), iv(5, 9), true},
+		{"meets no", Meets(PB), iv(0, 5), iv(6, 9), false},
+		{"overlaps yes", Overlaps(PB), iv(0, 6), iv(3, 9), true},
+		{"overlaps contained", Overlaps(PB), iv(0, 10), iv(3, 9), false}, // ȳ > x̄ fails
+		{"contains yes", Contains(PB), iv(0, 10), iv(3, 9), true},
+		{"contains shared end", Contains(PB), iv(0, 10), iv(3, 10), false},
+		{"starts yes", Starts(PB), iv(2, 5), iv(2, 9), true},
+		{"starts equal end", Starts(PB), iv(2, 9), iv(2, 9), false}, // x̄ < ȳ strict
+		{"finishedBy yes", FinishedBy(PB), iv(0, 9), iv(4, 9), true},
+		{"finishedBy no", FinishedBy(PB), iv(5, 9), iv(4, 9), false},
+		{"sparks yes", Sparks(PB), iv(0, 1), iv(2, 30), true},
+		{"sparks short", Sparks(PB), iv(0, 1), iv(2, 10), false}, // 8 <= 10*1
+	}
+	for _, tt := range tests {
+		if got := tt.p.Bool(tt.x, tt.y); got != tt.want {
+			t.Errorf("%s: Bool(%v,%v) = %v, want %v", tt.name, tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestJustBefore(t *testing.T) {
+	avg := 10.0
+	p := JustBefore(PairParams{Equals: Params{0, 16}}, avg)
+	// y starts 1 after x ends, well within avg: score 1.
+	if got := p.Score(iv(0, 5), iv(6, 9)); got != 1 {
+		t.Errorf("justBefore close = %g, want 1", got)
+	}
+	// y starts exactly avg after x ends: still 1 (λ_equals = avg).
+	if got := p.Score(iv(0, 5), iv(15, 20)); got != 1 {
+		t.Errorf("justBefore at avg = %g, want 1", got)
+	}
+	// y starts before x ends: greater term (Boolean) kills it.
+	if got := p.Score(iv(0, 5), iv(4, 9)); got != 0 {
+		t.Errorf("justBefore overlap = %g, want 0", got)
+	}
+	// y starts avg + ρ/2 after: ramp.
+	got := p.Score(iv(0, 5), iv(5+10+8, 40))
+	if got != 0.5 {
+		t.Errorf("justBefore ramp = %g, want 0.5", got)
+	}
+}
+
+func TestShiftMeets(t *testing.T) {
+	avg := 10.0
+	p := ShiftMeets(PairParams{Equals: Params{4, 8}}, avg)
+	// y̲ = x̄ + avg exactly.
+	if got := p.Score(iv(0, 5), iv(15, 20)); got != 1 {
+		t.Errorf("shiftMeets exact = %g, want 1", got)
+	}
+	// 10 off: |d| = 10, score (4+8-10)/8 = 0.25.
+	if got := p.Score(iv(0, 5), iv(25, 30)); got != 0.25 {
+		t.Errorf("shiftMeets off = %g, want 0.25", got)
+	}
+}
+
+func TestSparksScored(t *testing.T) {
+	p := Sparks(PairParams{Greater: Params{0, 10}})
+	// y length 50, x length 1 (>10x), gap 5: both terms ramp.
+	got := p.Score(iv(0, 1), iv(6, 56))
+	if got != 0.5 { // min(greater(5)=0.5, greater(50-10=40 -> 1)) = 0.5
+		t.Errorf("sparks = %g, want 0.5", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{
+		"before", "s-before", "equals", "meets", "overlaps", "contains",
+		"starts", "finishedBy", "justBefore", "shiftMeets", "sparks",
+	} {
+		if _, ok := ByName(name, P1, 10); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("nope", P1, 0); ok {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestPredicateValidate(t *testing.T) {
+	if err := Meets(P1).Validate(); err != nil {
+		t.Errorf("valid predicate rejected: %v", err)
+	}
+	bad := &Predicate{Name: "empty"}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty predicate accepted")
+	}
+	neg := &Predicate{Name: "neg", Terms: []Term{NewTerm(CompEquals, Var(XEnd), Var(YStart), Params{Lambda: -1})}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative λ accepted")
+	}
+}
+
+// Every catalog predicate must score within [0,1] on random inputs.
+func TestScoreRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	preds := []*Predicate{
+		Before(P1), Equals(P1), Meets(P1), Overlaps(P1), Contains(P1),
+		Starts(P1), FinishedBy(P1), JustBefore(P2, 12), ShiftMeets(P3, 12), Sparks(P1),
+	}
+	for i := 0; i < 5000; i++ {
+		xs, ys := rng.Int63n(1000), rng.Int63n(1000)
+		x := iv(xs, xs+rng.Int63n(100))
+		y := iv(ys, ys+rng.Int63n(100))
+		for _, p := range preds {
+			s := p.Score(x, y)
+			if s < 0 || s > 1 {
+				t.Fatalf("%s score %g outside [0,1] for %v,%v", p.Name, s, x, y)
+			}
+		}
+	}
+}
+
+func TestLinearExprRange(t *testing.T) {
+	// d = y̲ - x̄ over x̄ in [10,20], y̲ in [15,40] -> [-5, 30].
+	e := Var(YStart).Sub(Var(XEnd))
+	lo, hi := e.Range([4]float64{0, 10, 15, 0}, [4]float64{0, 20, 40, 0})
+	if lo != -5 || hi != 30 {
+		t.Errorf("Range = [%g,%g], want [-5,30]", lo, hi)
+	}
+}
+
+func TestLinearExprRangeBracketsSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		var e LinearExpr
+		for i := range e.Coef {
+			e.Coef[i] = float64(rng.Intn(21) - 10)
+		}
+		e.Const = float64(rng.Intn(21) - 10)
+		var lo, hi [4]float64
+		for i := range lo {
+			lo[i] = float64(rng.Intn(100))
+			hi[i] = lo[i] + float64(rng.Intn(100))
+		}
+		rlo, rhi := e.Range(lo, hi)
+		for s := 0; s < 200; s++ {
+			var v [4]float64
+			for i := range v {
+				v[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			got := e.EvalVars(v)
+			if got < rlo-1e-9 || got > rhi+1e-9 {
+				t.Fatalf("EvalVars=%g outside Range [%g,%g]", got, rlo, rhi)
+			}
+		}
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	scores := []float64{1, 0.5, 0}
+	if got := (Avg{}).Aggregate(scores); got != 0.5 {
+		t.Errorf("Avg = %g, want 0.5", got)
+	}
+	if got := (Sum{}).Aggregate(scores); got != 1.5 {
+		t.Errorf("Sum = %g, want 1.5", got)
+	}
+	if got := (Min{}).Aggregate(scores); got != 0 {
+		t.Errorf("Min = %g, want 0", got)
+	}
+	ws, err := NewWeightedSum([]float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.Aggregate([]float64{1, 0}); got != 0.75 {
+		t.Errorf("WeightedSum = %g, want 0.75", got)
+	}
+	if _, err := NewWeightedSum([]float64{1, -2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewWeightedSum(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if got := (Avg{}).Aggregate(nil); got != 0 {
+		t.Errorf("Avg(nil) = %g, want 0", got)
+	}
+	if got := (Min{}).Aggregate(nil); got != 0 {
+		t.Errorf("Min(nil) = %g, want 0", got)
+	}
+}
+
+// Aggregators must be monotone: raising any partial score never lowers
+// the aggregate. This is the property the loose strategy relies on.
+func TestAggregatorMonotonicityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ws, _ := NewWeightedSum([]float64{2, 1, 3})
+	aggs := []Aggregator{Avg{}, Sum{}, Min{}, ws}
+	for trial := 0; trial < 1000; trial++ {
+		base := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		idx := rng.Intn(3)
+		raised := append([]float64(nil), base...)
+		raised[idx] = raised[idx] + rng.Float64()*(1-raised[idx])
+		for _, a := range aggs {
+			if a.Aggregate(raised) < a.Aggregate(base)-1e-12 {
+				t.Fatalf("%s not monotone: %v -> %v", a.Name(), base, raised)
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package solver computes score bounds for bucket combinations — the
+// Bounds Problem of §3.3. The paper delegates this to the Choco
+// constraint-programming solver; this reproduction substitutes an
+// interval-arithmetic branch-and-bound optimizer, which is exact for the
+// same problem class: maximize (or minimize) a monotone aggregation of
+// scored predicates, each a min-conjunction of piecewise-linear unimodal
+// functions of linear endpoint expressions, subject to every endpoint
+// lying in its granule (constraints (1)(2)).
+//
+// Interval extensions of the comparator curves give valid enclosures of
+// the objective over any endpoint box; best-first branch-and-bound
+// shrinks the enclosure until the bound gap falls below Eps. The
+// returned bounds are always *safe*: UB >= true maximum and LB <= true
+// minimum, so pruning decisions based on them never sacrifice
+// correctness, only (marginally) efficiency when the node budget is hit.
+package solver
+
+import (
+	"container/heap"
+
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+)
+
+// VertexBox is the endpoint domain of one query vertex inside a bucket:
+// the start variable ranges over the bucket's start granule and the end
+// variable over its end granule.
+type VertexBox struct {
+	StartLo, StartHi float64
+	EndLo, EndHi     float64
+}
+
+// width returns the extent of the requested variable (0 = start, 1 = end).
+func (b VertexBox) width(v int) float64 {
+	if v == 0 {
+		return b.StartHi - b.StartLo
+	}
+	return b.EndHi - b.EndLo
+}
+
+// mid returns the midpoint of the requested variable.
+func (b VertexBox) mid(v int) float64 {
+	if v == 0 {
+		return (b.StartLo + b.StartHi) / 2
+	}
+	return (b.EndLo + b.EndHi) / 2
+}
+
+// split halves the box along variable v.
+func (b VertexBox) split(v int) (lo, hi VertexBox) {
+	lo, hi = b, b
+	m := b.mid(v)
+	if v == 0 {
+		lo.StartHi, hi.StartLo = m, m
+	} else {
+		lo.EndHi, hi.EndLo = m, m
+	}
+	return lo, hi
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// Eps is the accepted gap between the returned bound and the true
+	// optimum. Defaults to 1e-6.
+	Eps float64
+	// MaxNodes caps the number of explored boxes per optimization;
+	// exceeding it returns the current (still safe, possibly loose)
+	// bound. Defaults to 4096.
+	MaxNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps <= 0 {
+		o.Eps = 1e-6
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 4096
+	}
+	return o
+}
+
+// lo4/hi4 project the boxes of an edge's two vertices onto the canonical
+// comparator variable order (x̲, x̄, y̲, ȳ).
+func edgeBounds(from, to VertexBox) (lo, hi [4]float64) {
+	lo = [4]float64{from.StartLo, from.EndLo, to.StartLo, to.EndLo}
+	hi = [4]float64{from.StartHi, from.EndHi, to.StartHi, to.EndHi}
+	return
+}
+
+// predicateEnclosure returns a valid enclosure of pred's score over the
+// given edge box: every concrete (x, y) drawn from the box scores within
+// [lo, hi]. min is monotone, so the min of per-term enclosure
+// lows/highs encloses the min of the terms.
+func predicateEnclosure(pred *scoring.Predicate, lo4, hi4 [4]float64) (lo, hi float64) {
+	lo, hi = 1, 1
+	for _, t := range pred.Terms {
+		dlo, dhi := t.Diff.Range(lo4, hi4)
+		slo, shi := t.ScoreRange(dlo, dhi)
+		if slo < lo {
+			lo = slo
+		}
+		if shi < hi {
+			hi = shi
+		}
+	}
+	return lo, hi
+}
+
+// enclose returns a valid enclosure of the query's aggregate score over
+// the vertex boxes, using the aggregator's monotonicity.
+func enclose(q *query.Query, boxes []VertexBox) (lo, hi float64) {
+	los := make([]float64, len(q.Edges))
+	his := make([]float64, len(q.Edges))
+	for i, e := range q.Edges {
+		l4, h4 := edgeBounds(boxes[e.From], boxes[e.To])
+		los[i], his[i] = predicateEnclosure(e.Pred, l4, h4)
+	}
+	return q.Agg.Aggregate(los), q.Agg.Aggregate(his)
+}
+
+// evalAt computes the exact aggregate score at a concrete assignment
+// (the midpoint of a box, used to raise the incumbent).
+func evalAt(q *query.Query, pts [][2]float64) float64 {
+	partials := make([]float64, len(q.Edges))
+	for i, e := range q.Edges {
+		v := [4]float64{pts[e.From][0], pts[e.From][1], pts[e.To][0], pts[e.To][1]}
+		s := 1.0
+		for _, t := range e.Pred.Terms {
+			ts := t.ScoreOfDiff(t.Diff.EvalVars(v))
+			if ts < s {
+				s = ts
+			}
+		}
+		partials[i] = s
+	}
+	return q.Agg.Aggregate(partials)
+}
+
+// node is one open box in the search tree.
+type node struct {
+	boxes []VertexBox
+	bound float64 // hi of enclosure when maximizing, -lo when minimizing
+}
+
+// nodeHeap is a max-heap on bound.
+type nodeHeap []node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return n
+}
+
+// QueryBounds solves the Bounds Problem: the tight lower and upper bound
+// of the query's aggregate score when each vertex's endpoints range over
+// its bucket box. Safe even when the node budget truncates the search.
+func QueryBounds(q *query.Query, boxes []VertexBox, opts Options) (lb, ub float64) {
+	opts = opts.withDefaults()
+	ub = optimize(q, boxes, opts, true)
+	lb = optimize(q, boxes, opts, false)
+	return lb, ub
+}
+
+// PredicateBounds returns bounds for a single scored predicate over an
+// (x, y) bucket pair — the unit of work of the loose strategy, where the
+// solver assigns only 4 variables (§3.3).
+func PredicateBounds(pred *scoring.Predicate, x, y VertexBox, opts Options) (lb, ub float64) {
+	if len(pred.Terms) == 1 {
+		// Single-comparator predicates (before, meets, shiftMeets): the
+		// score is a unimodal function of one linear difference, whose
+		// range over a box is attained — the analytic bounds are exact.
+		t := pred.Terms[0]
+		lo4, hi4 := edgeBounds(x, y)
+		dlo, dhi := t.Diff.Range(lo4, hi4)
+		return t.ScoreRange(dlo, dhi)
+	}
+	q := &query.Query{
+		Name:        "pair",
+		NumVertices: 2,
+		Edges:       []query.Edge{{From: 0, To: 1, Pred: pred}},
+		Agg:         scoring.Avg{},
+	}
+	return QueryBounds(q, []VertexBox{x, y}, opts)
+}
+
+// optimize runs best-first branch-and-bound. maximize=true returns a
+// value >= the true maximum (within Eps when converged); maximize=false
+// returns a value <= the true minimum.
+func optimize(q *query.Query, boxes []VertexBox, opts Options, maximize bool) float64 {
+	sign := 1.0
+	if !maximize {
+		sign = -1
+	}
+	bound := func(bs []VertexBox) float64 {
+		lo, hi := enclose(q, bs)
+		if maximize {
+			return hi
+		}
+		return -lo
+	}
+	sample := func(bs []VertexBox) float64 {
+		pts := make([][2]float64, len(bs))
+		for i, b := range bs {
+			pts[i] = [2]float64{b.mid(0), b.mid(1)}
+		}
+		return sign * evalAt(q, pts)
+	}
+
+	root := node{boxes: boxes, bound: bound(boxes)}
+	incumbent := sample(boxes) // achieved value: a safe inner bound
+	// pruned tracks the largest bound among boxes we chose not to open;
+	// the true optimum may hide there, so the returned (outer) bound is
+	// never allowed below it.
+	pruned := incumbent
+	h := &nodeHeap{root}
+	heap.Init(h)
+	nodes := 0
+	for h.Len() > 0 {
+		top := heap.Pop(h).(node)
+		if top.bound <= incumbent+opts.Eps || nodes >= opts.MaxNodes {
+			// top.bound dominates every open node (max-heap) and pruned
+			// children are tracked separately: this is a safe outer bound.
+			return sign * maxf(top.bound, pruned)
+		}
+		nodes++
+		// Branch on the widest variable.
+		bestV, bestVar, bestW := 0, 0, -1.0
+		for i, b := range top.boxes {
+			for v := 0; v < 2; v++ {
+				if w := b.width(v); w > bestW {
+					bestV, bestVar, bestW = i, v, w
+				}
+			}
+		}
+		if bestW <= 1e-9 {
+			// Degenerate point box: the enclosure is exact there.
+			if top.bound > pruned {
+				pruned = top.bound
+			}
+			if top.bound > incumbent {
+				incumbent = top.bound
+			}
+			continue
+		}
+		loBox, hiBox := top.boxes[bestV].split(bestVar)
+		for _, nb := range []VertexBox{loBox, hiBox} {
+			child := make([]VertexBox, len(top.boxes))
+			copy(child, top.boxes)
+			child[bestV] = nb
+			b := bound(child)
+			if s := sample(child); s > incumbent {
+				incumbent = s
+			}
+			if b > incumbent+opts.Eps {
+				heap.Push(h, node{boxes: child, bound: b})
+			} else if b > pruned {
+				pruned = b
+			}
+		}
+	}
+	return sign * maxf(incumbent, pruned)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+// Package stats implements TKIJ's offline statistics layer (§3.2):
+// uniform time partitioning into granules and per-collection bucket
+// matrices counting, for every granule pair (g_l, g_l'), the intervals
+// starting in g_l and ending in g_l'. Matrices are computed with one
+// Map-Reduce job whose mappers maintain local matrices that the reduce
+// phase aggregates, exactly as described in the paper.
+package stats
+
+import (
+	"fmt"
+
+	"tkij/internal/interval"
+)
+
+// Granulation is a uniform partition of a time range [Min, Max] into G
+// contiguous granules (§3.2 adopts uniform partitioning, shown
+// appropriate for temporal joins by prior work).
+type Granulation struct {
+	Min, Max interval.Timestamp
+	G        int
+}
+
+// NewGranulation validates and builds a granulation. Max may equal Min
+// (degenerate datasets); it must not be smaller.
+func NewGranulation(min, max interval.Timestamp, g int) (Granulation, error) {
+	if g < 1 {
+		return Granulation{}, fmt.Errorf("stats: need at least 1 granule, got %d", g)
+	}
+	if max < min {
+		return Granulation{}, fmt.Errorf("stats: granulation range [%d,%d] inverted", min, max)
+	}
+	return Granulation{Min: min, Max: max, G: g}, nil
+}
+
+// width returns the granule width. Degenerate ranges get width 1 so the
+// index math stays well defined.
+func (gr Granulation) width() float64 {
+	if gr.Max == gr.Min {
+		return 1
+	}
+	return float64(gr.Max-gr.Min) / float64(gr.G)
+}
+
+// IndexOf returns the granule index of timestamp t, clamped to [0, G).
+// The right edge of the range falls in the last granule, and timestamps
+// outside the range clamp to the nearest granule — relevant when a
+// granulation built from one dataset is applied to updated data.
+func (gr Granulation) IndexOf(t interval.Timestamp) int {
+	if t <= gr.Min {
+		return 0
+	}
+	if t >= gr.Max {
+		return gr.G - 1
+	}
+	idx := int(float64(t-gr.Min) / gr.width())
+	if idx >= gr.G {
+		idx = gr.G - 1
+	}
+	return idx
+}
+
+// Bounds returns the time range [lo, hi] covered by granule l. Granule
+// boxes feed the bound solver's endpoint domains.
+func (gr Granulation) Bounds(l int) (lo, hi float64) {
+	w := gr.width()
+	lo = float64(gr.Min) + w*float64(l)
+	hi = lo + w
+	return lo, hi
+}
+
+// BucketOf returns the (start granule, end granule) pair of iv.
+func (gr Granulation) BucketOf(iv interval.Interval) (l, lp int) {
+	return gr.IndexOf(iv.Start), gr.IndexOf(iv.End)
+}

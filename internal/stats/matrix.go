@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"tkij/internal/interval"
+)
+
+// Bucket identifies one non-empty bucket b_{i,l,l'} of collection Col:
+// the set of intervals starting in granule StartG and ending in granule
+// EndG, of which there are Count.
+type Bucket struct {
+	Col    int
+	StartG int
+	EndG   int
+	Count  int
+}
+
+// Key returns the bucket's identity without the count, used for
+// assignment maps (the same bucket may appear in many combinations).
+func (b Bucket) Key() BucketKey {
+	return BucketKey{Col: b.Col, StartG: b.StartG, EndG: b.EndG}
+}
+
+// String implements fmt.Stringer.
+func (b Bucket) String() string {
+	return fmt.Sprintf("b{C%d,g%d,g%d:%d}", b.Col, b.StartG, b.EndG, b.Count)
+}
+
+// BucketKey is the comparable identity of a bucket.
+type BucketKey struct {
+	Col    int
+	StartG int
+	EndG   int
+}
+
+// Matrix is the endpoint-distribution matrix B_i of one collection
+// (§3.2): Counts[l][l'] = |{x in C_i : start(x) in g_l, end(x) in g_l'}|.
+type Matrix struct {
+	Col    int
+	Gran   Granulation
+	Counts [][]int
+	total  int
+}
+
+// NewMatrix returns an empty matrix over the given granulation.
+func NewMatrix(col int, gran Granulation) *Matrix {
+	counts := make([][]int, gran.G)
+	backing := make([]int, gran.G*gran.G)
+	for l := range counts {
+		counts[l], backing = backing[:gran.G], backing[gran.G:]
+	}
+	return &Matrix{Col: col, Gran: gran, Counts: counts}
+}
+
+// Add records one interval.
+func (m *Matrix) Add(iv interval.Interval) {
+	l, lp := m.Gran.BucketOf(iv)
+	m.Counts[l][lp]++
+	m.total++
+}
+
+// Remove un-records one interval (dataset deletions, §3.2 "we can easily
+// handle updates"). Removing an interval that was never added corrupts
+// the counts; Validate detects the resulting negatives.
+func (m *Matrix) Remove(iv interval.Interval) {
+	l, lp := m.Gran.BucketOf(iv)
+	m.Counts[l][lp]--
+	m.total--
+}
+
+// Merge adds other's counts into m. The granulations must match.
+func (m *Matrix) Merge(other *Matrix) error {
+	if other.Gran != m.Gran {
+		return fmt.Errorf("stats: merging matrices with different granulations %+v vs %+v", m.Gran, other.Gran)
+	}
+	for l := range m.Counts {
+		for lp := range m.Counts[l] {
+			m.Counts[l][lp] += other.Counts[l][lp]
+		}
+	}
+	m.total += other.total
+	return nil
+}
+
+// Total returns the number of recorded intervals.
+func (m *Matrix) Total() int { return m.total }
+
+// Count returns Counts[l][l'].
+func (m *Matrix) Count(l, lp int) int { return m.Counts[l][lp] }
+
+// Buckets returns the non-empty buckets in deterministic (row-major)
+// order. These are the inputs to TopBuckets' combination enumeration.
+func (m *Matrix) Buckets() []Bucket {
+	var out []Bucket
+	for l := range m.Counts {
+		for lp, c := range m.Counts[l] {
+			if c > 0 {
+				out = append(out, Bucket{Col: m.Col, StartG: l, EndG: lp, Count: c})
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks internal consistency: no negative counts, no count in
+// an impossible cell (an interval cannot end in an earlier granule than
+// it starts), and the total matching the cell sum.
+func (m *Matrix) Validate() error {
+	sum := 0
+	for l := range m.Counts {
+		for lp, c := range m.Counts[l] {
+			if c < 0 {
+				return fmt.Errorf("stats: B%d[%d][%d] = %d < 0", m.Col, l, lp, c)
+			}
+			if c > 0 && lp < l {
+				return fmt.Errorf("stats: B%d[%d][%d] = %d but end granule precedes start granule", m.Col, l, lp, c)
+			}
+			sum += c
+		}
+	}
+	if sum != m.total {
+		return fmt.Errorf("stats: B%d total %d != cell sum %d", m.Col, m.total, sum)
+	}
+	return nil
+}
+
+// WithCol returns a shallow copy of the matrix tagged with a different
+// collection index, sharing the (immutable after collection) counts.
+// The engine uses it when several query vertices read one collection:
+// bucket identities are vertex-scoped downstream.
+func (m *Matrix) WithCol(col int) *Matrix {
+	if col == m.Col {
+		return m
+	}
+	cp := *m
+	cp.Col = col
+	return &cp
+}
+
+// Box returns the endpoint domains of bucket (l, l'): the start variable
+// ranges over granule l and the end variable over granule l'. The
+// solver uses these as decision-variable domains (constraints (1)(2) of
+// the Bounds Problem in §3.3).
+func (m *Matrix) Box(l, lp int) (startLo, startHi, endLo, endHi float64) {
+	startLo, startHi = m.Gran.Bounds(l)
+	endLo, endHi = m.Gran.Bounds(lp)
+	return
+}
+
+// SortBuckets orders buckets deterministically (by collection, start
+// granule, end granule) in place; useful for stable test output.
+func SortBuckets(bs []Bucket) {
+	sort.Slice(bs, func(i, j int) bool {
+		a, b := bs[i], bs[j]
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.StartG != b.StartG {
+			return a.StartG < b.StartG
+		}
+		return a.EndG < b.EndG
+	})
+}

@@ -1,0 +1,129 @@
+// Package topbuckets implements TKIJ's online pruning phase (§3.3): it
+// enumerates bucket combinations, computes their score bounds with the
+// solver, and selects the Top Buckets set Ω_k,S — a subset of the search
+// space guaranteed to contain the exact top-k results (Definition 2).
+// The three strategies of Algorithm 2 are provided: brute-force (tight
+// bounds on every combination), loose (per-edge pair bounds aggregated
+// through the monotone scoring function) and two-phase (loose pruning
+// followed by tight refinement).
+package topbuckets
+
+import (
+	"fmt"
+
+	"tkij/internal/query"
+	"tkij/internal/solver"
+	"tkij/internal/stats"
+)
+
+// Combo is one bucket combination ω = (b_{1,l1,l1'}, ..., b_{n,ln,ln'})
+// with its score bounds and result count ω.nbRes = Π |b_i|.
+type Combo struct {
+	// Buckets has one bucket per query vertex, Buckets[i] drawn from the
+	// matrix of collection i.
+	Buckets []stats.Bucket
+	// LB and UB bound the aggregate score of every tuple drawn from the
+	// combination (Definition 1).
+	LB, UB float64
+	// NbRes is the number of candidate tuples in the combination. It is
+	// kept as float64 because products of bucket cardinalities overflow
+	// int64 for large n (the paper reports >1e13 results per combination
+	// at §4.2.6 scale).
+	NbRes float64
+}
+
+// key returns a comparable identity for deduplication and deterministic
+// tie-breaking.
+func (c *Combo) key() string {
+	// Buckets are small; a compact string key keeps this allocation-light
+	// enough for selection-time use only (not the enumeration hot path).
+	k := make([]byte, 0, len(c.Buckets)*6)
+	for _, b := range c.Buckets {
+		k = append(k, byte(b.Col), byte(b.StartG>>8), byte(b.StartG), byte(b.EndG>>8), byte(b.EndG), '|')
+	}
+	return string(k)
+}
+
+// boxesFor converts a combination's buckets into solver vertex boxes.
+func boxesFor(matrices []*stats.Matrix, buckets []stats.Bucket) []solver.VertexBox {
+	boxes := make([]solver.VertexBox, len(buckets))
+	for i, b := range buckets {
+		sLo, sHi, eLo, eHi := matrices[i].Box(b.StartG, b.EndG)
+		boxes[i] = solver.VertexBox{StartLo: sLo, StartHi: sHi, EndLo: eLo, EndHi: eHi}
+	}
+	return boxes
+}
+
+// enumerate walks the full combination space Ω — the cartesian product
+// of each collection's non-empty buckets — in deterministic row-major
+// order, invoking fn for each combination's bucket tuple. The buckets
+// slice passed to fn is reused across calls; fn must copy it to retain
+// it. enumerate returns an error from fn, stopping early.
+func enumerate(bucketLists [][]stats.Bucket, fn func(buckets []stats.Bucket) error) error {
+	n := len(bucketLists)
+	idx := make([]int, n)
+	cur := make([]stats.Bucket, n)
+	for {
+		for i := 0; i < n; i++ {
+			cur[i] = bucketLists[i][idx[i]]
+		}
+		if err := fn(cur); err != nil {
+			return err
+		}
+		// Odometer increment, last position fastest.
+		i := n - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(bucketLists[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// comboCount returns |Ω| for the given bucket lists.
+func comboCount(bucketLists [][]stats.Bucket) float64 {
+	total := 1.0
+	for _, bl := range bucketLists {
+		total *= float64(len(bl))
+	}
+	return total
+}
+
+// nbRes returns the number of candidate results of a bucket tuple.
+func nbRes(buckets []stats.Bucket) float64 {
+	n := 1.0
+	for _, b := range buckets {
+		n *= float64(b.Count)
+	}
+	return n
+}
+
+// validateInputs checks that the query and matrices are mutually
+// consistent.
+func validateInputs(q *query.Query, matrices []*stats.Matrix, k int) ([][]stats.Bucket, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("topbuckets: k must be >= 1, got %d", k)
+	}
+	if len(matrices) != q.NumVertices {
+		return nil, fmt.Errorf("topbuckets: query %s has %d vertices but %d matrices given", q.Name, q.NumVertices, len(matrices))
+	}
+	lists := make([][]stats.Bucket, len(matrices))
+	for i, m := range matrices {
+		if m == nil {
+			return nil, fmt.Errorf("topbuckets: matrix %d is nil", i)
+		}
+		lists[i] = m.Buckets()
+		if len(lists[i]) == 0 {
+			return nil, fmt.Errorf("topbuckets: collection %d has no data", i)
+		}
+	}
+	return lists, nil
+}

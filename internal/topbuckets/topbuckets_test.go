@@ -1,0 +1,325 @@
+package topbuckets
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tkij/internal/interval"
+	"tkij/internal/mapreduce"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+	"tkij/internal/stats"
+)
+
+func mkCombo(lb, ub, nbRes float64, id int) Combo {
+	return Combo{
+		Buckets: []stats.Bucket{{Col: 0, StartG: id, EndG: id, Count: int(nbRes)}},
+		LB:      lb, UB: ub, NbRes: nbRes,
+	}
+}
+
+// Definition 2: for every pruned combination ω there must be selected
+// combinations with LB >= ω.UB totalling at least k results.
+func checkDefinition2(t *testing.T, k int, all, selected []Combo) {
+	t.Helper()
+	sel := make(map[string]bool, len(selected))
+	for _, c := range selected {
+		sel[c.key()] = true
+	}
+	for _, w := range all {
+		if sel[w.key()] {
+			continue
+		}
+		var covered float64
+		for _, s := range selected {
+			if s.LB >= w.UB {
+				covered += s.NbRes
+			}
+		}
+		if covered < float64(k) {
+			t.Fatalf("pruned combo (UB=%g) lacks certificate: only %g results with LB >= UB in Ωk,S (k=%d)", w.UB, covered, k)
+		}
+	}
+}
+
+func TestSelectListDefinition2Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(50)
+		n := 1 + rng.Intn(60)
+		all := make([]Combo, n)
+		for i := range all {
+			ub := rng.Float64()
+			lb := ub * rng.Float64()
+			all[i] = mkCombo(lb, ub, float64(1+rng.Intn(30)), i)
+		}
+		selected := SelectList(k, all)
+		checkDefinition2(t, k, all, selected)
+	}
+}
+
+func TestSelectListSingleDominantCombo(t *testing.T) {
+	// The Qb,b situation: one combination with LB = UB = 1 holding far
+	// more than k results must suffice alone.
+	all := []Combo{
+		mkCombo(1, 1, 1e6, 0),
+		mkCombo(0.2, 0.9, 1e6, 1),
+		mkCombo(0.1, 0.8, 1e6, 2),
+	}
+	selected := SelectList(100, all)
+	if len(selected) != 1 {
+		t.Fatalf("selected %d combos, want 1 (the dominant one)", len(selected))
+	}
+	if selected[0].LB != 1 {
+		t.Fatalf("selected wrong combo: %+v", selected[0])
+	}
+	checkDefinition2(t, 100, all, selected)
+}
+
+func TestSelectListTieAtThreshold(t *testing.T) {
+	// Saturated scores: several combos with UB = 1 but differing LB.
+	// The LB cover must be selected, not arbitrary UB-tied filler.
+	all := []Combo{
+		mkCombo(1, 1, 50, 0), // certificate combo
+		mkCombo(0, 1, 50, 1), // same UB, useless LB
+		mkCombo(0, 1, 50, 2),
+		mkCombo(0.5, 0.6, 10, 3),
+	}
+	selected := SelectList(40, all)
+	checkDefinition2(t, 40, all, selected)
+	found := false
+	for _, c := range selected {
+		if c.LB == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("LB=1 certificate combo not selected")
+	}
+}
+
+func TestSelectListFewerThanKResults(t *testing.T) {
+	all := []Combo{mkCombo(0.9, 1, 3, 0), mkCombo(0.1, 0.5, 2, 1)}
+	selected := SelectList(100, all)
+	// Everything must be kept: we cannot certify pruning anything.
+	if len(selected) != 2 {
+		t.Fatalf("selected %d, want 2", len(selected))
+	}
+}
+
+func TestStreamSelectorMatchesSelectList(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(80)
+		all := make([]Combo, n)
+		for i := range all {
+			ub := float64(rng.Intn(11)) / 10 // coarse scores force ties
+			lb := ub * float64(rng.Intn(11)) / 10
+			all[i] = mkCombo(lb, ub, float64(1+rng.Intn(20)), i)
+		}
+		want := SelectList(k, all)
+		s := newStreamSelector(k)
+		for _, c := range all {
+			s.observe(c)
+		}
+		s.beginPick()
+		for _, c := range all {
+			s.pick(c)
+		}
+		got := s.finalize()
+		if len(got) != len(want) {
+			t.Fatalf("stream selected %d, list selected %d (k=%d)", len(got), len(want), k)
+		}
+		for i := range got {
+			if got[i].key() != want[i].key() {
+				t.Fatalf("selection mismatch at %d", i)
+			}
+		}
+	}
+}
+
+// --- strategy tests over real data ---
+
+func synthCollections(n int, perCol int, seed int64) []*interval.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]*interval.Collection, n)
+	for i := range cols {
+		c := &interval.Collection{Name: "C"}
+		for j := 0; j < perCol; j++ {
+			s := rng.Int63n(10000)
+			c.Add(interval.Interval{ID: int64(j), Start: s, End: s + 1 + rng.Int63n(99)})
+		}
+		cols[i] = c
+	}
+	return cols
+}
+
+func matricesFor(t *testing.T, cols []*interval.Collection, g int) []*stats.Matrix {
+	t.Helper()
+	ms, _, err := stats.Collect(cols, g, mapreduce.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+// Every strategy must select a set that covers the exhaustive top-k: for
+// each of the true top-k tuples, the combination containing it must be
+// selected.
+func TestStrategiesCoverExhaustiveTopK(t *testing.T) {
+	cols := synthCollections(2, 60, 3)
+	ms := matricesFor(t, cols, 6)
+	pp := scoring.P1
+	q := query.MustNew("pair", 2, []query.Edge{{From: 0, To: 1, Pred: scoring.Meets(pp)}}, scoring.Avg{})
+	const k = 25
+
+	// Exhaustive scoring.
+	type scored struct {
+		score float64
+		b0    stats.BucketKey
+		b1    stats.BucketKey
+	}
+	var allResults []scored
+	for _, x := range cols[0].Items {
+		for _, y := range cols[1].Items {
+			l0, lp0 := ms[0].Gran.BucketOf(x)
+			l1, lp1 := ms[1].Gran.BucketOf(y)
+			allResults = append(allResults, scored{
+				score: q.Score([]interval.Interval{x, y}),
+				b0:    stats.BucketKey{Col: 0, StartG: l0, EndG: lp0},
+				b1:    stats.BucketKey{Col: 1, StartG: l1, EndG: lp1},
+			})
+		}
+	}
+	sort.Slice(allResults, func(i, j int) bool { return allResults[i].score > allResults[j].score })
+
+	for _, strat := range []Strategy{Loose, BruteForce, TwoPhase} {
+		res, err := Run(q, ms, k, Options{Strategy: strat})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		selected := make(map[[2]stats.BucketKey]bool)
+		for _, c := range res.Selected {
+			selected[[2]stats.BucketKey{c.Buckets[0].Key(), c.Buckets[1].Key()}] = true
+		}
+		// Any result strictly better than the (k+1)-th score must be in a
+		// selected combo; ties at the k-th score are interchangeable.
+		kth := allResults[k-1].score
+		for i := 0; i < k; i++ {
+			r := allResults[i]
+			if r.score > kth || (r.score == kth && i < k) {
+				if r.score > kth && !selected[[2]stats.BucketKey{r.b0, r.b1}] {
+					t.Fatalf("%s: top-%d result (score %g) in pruned combo", strat, i+1, r.score)
+				}
+			}
+		}
+		// Count coverage: at least k results with score >= kth must be
+		// inside selected combos.
+		covered := 0
+		for _, r := range allResults {
+			if r.score >= kth && selected[[2]stats.BucketKey{r.b0, r.b1}] {
+				covered++
+			}
+		}
+		if covered < k {
+			t.Fatalf("%s: only %d results with score >= kth covered, want >= %d", strat, covered, k)
+		}
+		if res.PrunedFraction() < 0 || res.PrunedFraction() > 1 {
+			t.Fatalf("%s: pruned fraction %g", strat, res.PrunedFraction())
+		}
+	}
+}
+
+// brute-force bounds must never be looser than loose bounds, and
+// two-phase must agree with brute-force on tight bounds (Figure 6).
+func TestLooseVsTightBounds(t *testing.T) {
+	cols := synthCollections(3, 50, 7)
+	ms := matricesFor(t, cols, 4)
+	env := query.Env{Params: scoring.P1}
+	q := query.Qss(env)
+	const k = 10
+
+	loose, err := Run(q, ms, k, Options{Strategy: Loose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := Run(q, ms, k, Options{Strategy: BruteForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run(q, ms, k, Options{Strategy: TwoPhase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.PairSolverCalls == 0 || brute.TightSolverCalls == 0 || two.TightSolverCalls == 0 {
+		t.Fatal("solver call counters not maintained")
+	}
+	// Index loose bounds by combo identity.
+	looseUB := make(map[string]float64)
+	for _, c := range loose.Selected {
+		looseUB[c.key()] = c.UB
+	}
+	for _, c := range brute.Selected {
+		if lu, ok := looseUB[c.key()]; ok && c.UB > lu+1e-9 {
+			t.Fatalf("tight UB %g exceeds loose UB %g", c.UB, lu)
+		}
+	}
+	// two-phase refines: selected results never exceed loose's.
+	if two.SelectedResults > loose.SelectedResults+1e-9 {
+		t.Fatalf("two-phase selected %g results, loose %g — refinement should not grow the set",
+			two.SelectedResults, loose.SelectedResults)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cols := synthCollections(2, 20, 1)
+	ms := matricesFor(t, cols, 3)
+	q := query.MustNew("pair", 2, []query.Edge{{From: 0, To: 1, Pred: scoring.Before(scoring.P1)}}, scoring.Avg{})
+	if _, err := Run(q, ms, 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Run(q, ms[:1], 5, Options{}); err == nil {
+		t.Error("matrix count mismatch accepted")
+	}
+	if _, err := Run(q, ms, 5, Options{Strategy: BruteForce, MaxCombos: 1}); err == nil {
+		t.Error("MaxCombos guard did not fire")
+	}
+	if _, err := Run(q, ms, 5, Options{Strategy: Strategy(42)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Loose.String() != "loose" || BruteForce.String() != "brute-force" || TwoPhase.String() != "two-phase" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestEnumerateOrderAndCount(t *testing.T) {
+	lists := [][]stats.Bucket{
+		{{Col: 0, StartG: 0}, {Col: 0, StartG: 1}},
+		{{Col: 1, StartG: 0}, {Col: 1, StartG: 1}, {Col: 1, StartG: 2}},
+	}
+	var seen [][2]int
+	err := enumerate(lists, func(bs []stats.Bucket) error {
+		seen = append(seen, [2]int{bs[0].StartG, bs[1].StartG})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("enumerated %d, want 6", len(seen))
+	}
+	want := [][2]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("order mismatch at %d: %v", i, seen)
+		}
+	}
+	if got := comboCount(lists); got != 6 {
+		t.Errorf("comboCount = %g", got)
+	}
+}
