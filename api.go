@@ -9,22 +9,30 @@
 // [0, 1]. A query returns the k best tuples under a monotone
 // aggregation of per-predicate scores.
 //
-// The pipeline has three stages, all executed on an in-process
-// Map-Reduce substrate:
+// The pipeline has four stages, all executed on an in-process
+// Map-Reduce substrate, and is built for multi-query serving: stages 1
+// and 2 run once per dataset, stages 3 and 4 once per query, and one
+// engine safely serves concurrent queries from many goroutines.
 //
 //  1. Offline, query-independent statistics: time is partitioned into
 //     granules and each collection summarized by a bucket matrix
 //     counting intervals per (start granule, end granule) pair.
-//  2. TopBuckets: query-dependent score bounds are computed per bucket
+//  2. Dataset-resident bucket store: each collection's intervals are
+//     partitioned by bucket once; per-bucket R-trees are bulk-built
+//     lazily and memoized, shared across queries and reducers.
+//  3. TopBuckets: query-dependent score bounds are computed per bucket
 //     combination (via an interval branch-and-bound solver standing in
 //     for the paper's constraint solver) and combinations that cannot
 //     contribute a top-k result are pruned with a correctness
 //     certificate.
-//  3. Distributed join: DistributeTopBuckets (DTB) assigns combinations
+//  4. Distributed join: DistributeTopBuckets (DTB) assigns combinations
 //     to reducers — spreading high-scoring results to enable early
 //     termination, capping worst-case load, minimizing replication —
-//     then each reducer evaluates the query locally over R-tree-indexed
-//     buckets and a merge job produces the final top-k.
+//     then the join job routes bucket *references* (never raw
+//     intervals) to reducers, each reducer evaluates the query locally
+//     over the store's memoized R-trees while sharing a global top-k
+//     threshold with every other reducer, and a merge job produces the
+//     final top-k.
 //
 // Quickstart:
 //

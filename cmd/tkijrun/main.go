@@ -1,24 +1,66 @@
-// Command tkijrun evaluates one RTJ query end to end with TKIJ.
+// Command tkijrun evaluates RTJ queries end to end with TKIJ.
 //
 // Collections are given as text files (one "id<TAB>start<TAB>end" line
 // per interval, see cmd/datagen). The query is one of the paper's
 // Table-1 names; -self joins n copies of the first collection, the
 // §4.3 network-traffic setup.
 //
+// The engine is dataset-scoped: statistics and the resident bucket
+// store are built once, then every -repeat execution of the query runs
+// against the warm store (zero raw-interval shuffle, memoized R-trees).
+//
 // Usage:
 //
 //	tkijrun -query Qb,b -params P1 -k 100 -g 40 C1.tsv C2.tsv C3.tsv
 //	tkijrun -query QjB,jB -params P3 -self conns.tsv
 //	tkijrun -query Qo,m -strategy two-phase -dist LPT C1.tsv C2.tsv C3.tsv
+//	tkijrun -query Qb,b -repeat 5 -v C1.tsv C2.tsv C3.tsv   # warm-path timings
+//	tkijrun -query Qb,b -json C1.tsv C2.tsv C3.tsv          # machine-readable report
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"tkij"
 )
+
+// jsonRun is the machine-readable report of one execution.
+type jsonRun struct {
+	Run                 int     `json:"run"`
+	JoinMillis          float64 `json:"join_ms"`
+	TotalMillis         float64 `json:"total_ms"`
+	TreesBuilt          int64   `json:"trees_built"`
+	TreesReused         int64   `json:"trees_reused"`
+	RoutedBucketEntries int     `json:"routed_bucket_entries"`
+	RoutedIntervals     float64 `json:"routed_interval_records"`
+	RawShuffled         int64   `json:"raw_intervals_shuffled"`
+	SharedFloor         float64 `json:"shared_floor"`
+	// MinKthScore is the minimum k-th local score across reducers that
+	// returned results (0 when none did; never NaN).
+	MinKthScore float64 `json:"min_kth_score"`
+}
+
+type jsonReport struct {
+	Query       string       `json:"query"`
+	K           int          `json:"k"`
+	PrepMillis  float64      `json:"prep_ms"`
+	Runs        []jsonRun    `json:"runs"`
+	Results     []jsonResult `json:"results"`
+	NumReducers int          `json:"reducers"`
+}
+
+type jsonResult struct {
+	Score float64 `json:"score"`
+	Tuple []struct {
+		ID    int64 `json:"id"`
+		Start int64 `json:"start"`
+		End   int64 `json:"end"`
+	} `json:"tuple"`
+}
 
 func main() {
 	var (
@@ -30,6 +72,8 @@ func main() {
 		strategy  = flag.String("strategy", "loose", "TopBuckets strategy: loose | brute-force | two-phase")
 		dist      = flag.String("dist", "DTB", "workload distribution: DTB | LPT | RoundRobin")
 		self      = flag.Bool("self", false, "self-join: map every query vertex to the first collection")
+		repeat    = flag.Int("repeat", 1, "execute the query N times on the warm engine")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 		verbose   = flag.Bool("v", false, "print phase metrics")
 		top       = flag.Int("print", 10, "number of results to print")
 	)
@@ -38,6 +82,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tkijrun: no collection files given")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *repeat < 1 {
+		*repeat = 1
 	}
 
 	pp, ok := map[string]tkij.PairParams{"P1": tkij.P1, "P2": tkij.P2, "P3": tkij.P3, "PB": tkij.PB}[*params]
@@ -87,22 +134,70 @@ func main() {
 			mapping[i] = i
 		}
 	}
-	report, err := engine.ExecuteMapped(q, mapping)
-	if err != nil {
+
+	if err := engine.PrepareStats(); err != nil {
 		fatal(err)
 	}
+	jr := jsonReport{Query: q.Name, K: *k, NumReducers: *reducers,
+		PrepMillis: millis(engine.StatsDuration)}
 
-	fmt.Printf("query %s: %d results in %v (stats prep %v, reused across queries)\n",
+	var report *tkij.Report
+	for run := 0; run < *repeat; run++ {
+		report, err = engine.ExecuteMapped(q, mapping)
+		if err != nil {
+			fatal(err)
+		}
+		jr.Runs = append(jr.Runs, jsonRun{
+			Run:                 run,
+			JoinMillis:          millis(report.JoinTime),
+			TotalMillis:         millis(report.Total),
+			TreesBuilt:          report.TreesBuilt,
+			TreesReused:         report.TreesReused,
+			RoutedBucketEntries: report.Join.RoutedBucketEntries,
+			RoutedIntervals:     report.Join.RoutedIntervalRecords,
+			RawShuffled:         report.Join.RawIntervalsShuffled,
+			SharedFloor:         report.Join.SharedFloor,
+			MinKthScore:         minKth(report),
+		})
+		if !*jsonOut && *repeat > 1 {
+			fmt.Printf("run %d: %v (join %v, trees built %d, reused %d, raw shuffle %d)\n",
+				run, report.Total, report.JoinTime, report.TreesBuilt, report.TreesReused,
+				report.Join.RawIntervalsShuffled)
+		}
+	}
+
+	if *jsonOut {
+		for _, r := range report.Results {
+			res := jsonResult{Score: r.Score}
+			for _, iv := range r.Tuple {
+				res.Tuple = append(res.Tuple, struct {
+					ID    int64 `json:"id"`
+					Start int64 `json:"start"`
+					End   int64 `json:"end"`
+				}{iv.ID, iv.Start, iv.End})
+			}
+			jr.Results = append(jr.Results, res)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("query %s: %d results in %v (dataset prep %v, resident store reused across queries)\n",
 		q.Name, len(report.Results), report.Total, engine.StatsDuration)
 	if *verbose {
 		fmt.Printf("  topbuckets: %v  (|Ω|=%.0f, |Ωk,S|=%d, %.1f%% of results pruned, kthResLB=%.3f)\n",
 			report.TopBucketsTime, report.TopBuckets.TotalCombos, len(report.TopBuckets.Selected),
 			report.TopBuckets.PrunedFraction()*100, report.TopBuckets.KthResLB)
-		fmt.Printf("  distribute: %v  (%s, %.0f records shipped, result imbalance %.2f)\n",
+		fmt.Printf("  distribute: %v  (%s, %.0f records replicated, result imbalance %.2f)\n",
 			report.DistributeTime, report.Assignment.Algorithm,
 			report.Assignment.ReplicatedRecords, report.Assignment.ResultImbalance())
-		fmt.Printf("  join:       %v  (shuffle %d records, reducer imbalance %.2f)\n",
-			report.JoinTime, report.Join.JoinMetrics.ShuffleRecords, report.Imbalance())
+		fmt.Printf("  join:       %v  (%d bucket refs routed, 0 raw intervals shuffled, shared floor %.3f, reducer imbalance %.2f)\n",
+			report.JoinTime, report.Join.RoutedBucketEntries, report.Join.SharedFloor, report.Imbalance())
+		fmt.Printf("  store:      %d trees built, %d reused this query\n", report.TreesBuilt, report.TreesReused)
 		fmt.Printf("  merge:      %v\n", report.MergeTime)
 	}
 	for i, r := range report.Results {
@@ -112,6 +207,24 @@ func main() {
 		fmt.Printf("  #%d score=%.4f tuple=%v\n", i+1, r.Score, r.Tuple)
 	}
 }
+
+// minKth returns the minimum k-th local score across reducers with
+// results; 0 when none returned results (LocalStats.MinScore is
+// NaN-free by construction, keeping the report JSON-encodable).
+func minKth(report *tkij.Report) float64 {
+	min, seen := 0.0, false
+	for _, l := range report.Join.Locals {
+		if l.ResultsReturned == 0 {
+			continue
+		}
+		if !seen || l.MinScore < min {
+			min, seen = l.MinScore, true
+		}
+	}
+	return min
+}
+
+func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tkijrun:", err)

@@ -1,0 +1,3 @@
+module tkij
+
+go 1.22

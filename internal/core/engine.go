@@ -1,14 +1,17 @@
 // Package core assembles the TKIJ pipeline (Figure 5): offline
 // statistics collection, TopBuckets selection of Ω_k,S, workload
 // distribution, and the distributed join + merge phases. The Engine is
-// dataset-scoped: statistics are collected once per dataset and reused
-// across queries, mirroring the paper's query-independent pre-processing
-// (its cost is reported separately and excluded from query evaluation
-// time, as in §4 "Statistics collection").
+// dataset-scoped and built for multi-query serving: statistics and the
+// dataset-resident bucket store are prepared once per dataset (the
+// paper's query-independent pre-processing, §3.2 — its cost is reported
+// separately and excluded from query evaluation time, as in §4
+// "Statistics collection") and shared by every subsequent query, which
+// may execute concurrently from multiple goroutines.
 package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tkij/internal/distribute"
@@ -17,6 +20,7 @@ import (
 	"tkij/internal/mapreduce"
 	"tkij/internal/query"
 	"tkij/internal/stats"
+	"tkij/internal/store"
 	"tkij/internal/topbuckets"
 )
 
@@ -56,20 +60,35 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Engine evaluates RTJ queries over a fixed set of collections.
+// Engine evaluates RTJ queries over a fixed set of collections. It is
+// safe for concurrent use: the offline preparation is single-flighted,
+// and Execute may be called from any number of goroutines once (or
+// while) it completes.
 type Engine struct {
-	opts     Options
-	cols     []*interval.Collection
+	opts Options
+	cols []*interval.Collection
+
+	// mu single-flights the offline preparation and guards the fields
+	// below until it completes.
+	mu       sync.Mutex
 	matrices []*stats.Matrix
+	store    *store.Store
+
 	// StatsMetrics describes the statistics-collection job after
-	// PrepareStats (or the first Execute) has run.
+	// PrepareStats (or the first Execute) has run. Like StatsDuration
+	// and StoreBuildDuration, read it only after PrepareStats returns.
 	StatsMetrics *mapreduce.Metrics
-	// StatsDuration is the offline pre-processing wall time.
+	// StatsDuration is the offline pre-processing wall time (statistics
+	// job + bucket-store build).
 	StatsDuration time.Duration
+	// StoreBuildDuration is the share of StatsDuration spent
+	// partitioning intervals into the resident bucket store.
+	StoreBuildDuration time.Duration
 }
 
 // NewEngine validates the collections and returns an engine. Statistics
-// are collected lazily on first use (or eagerly via PrepareStats).
+// and the bucket store are built lazily on first use (or eagerly via
+// PrepareStats).
 func NewEngine(cols []*interval.Collection, opts Options) (*Engine, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("core: no collections")
@@ -95,10 +114,19 @@ func (e *Engine) Collections() []*interval.Collection { return e.cols }
 // the avg parameter of the justBefore and shiftMeets predicates.
 func (e *Engine) AvgLength() float64 { return interval.AvgLength(e.cols...) }
 
-// PrepareStats runs the offline statistics-collection phase (§3.2). It
-// is idempotent; Execute calls it automatically when needed.
+// PrepareStats runs the offline, query-independent phase: the
+// statistics-collection job (§3.2) plus the bucket-store build that
+// makes every interval dataset-resident. It is idempotent and
+// single-flighted — concurrent callers block until the one build
+// finishes; Execute calls it automatically when needed.
 func (e *Engine) PrepareStats() error {
-	if e.matrices != nil {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.prepareLocked()
+}
+
+func (e *Engine) prepareLocked() error {
+	if e.store != nil {
 		return nil
 	}
 	start := time.Now()
@@ -109,14 +137,43 @@ func (e *Engine) PrepareStats() error {
 	if err != nil {
 		return err
 	}
+	buildStart := time.Now()
+	st, err := store.Build(e.cols, ms)
+	if err != nil {
+		return err
+	}
 	e.matrices = ms
+	e.store = st
 	e.StatsMetrics = metrics
+	e.StoreBuildDuration = time.Since(buildStart)
 	e.StatsDuration = time.Since(start)
 	return nil
 }
 
+// prepared returns the matrices and store, running the offline phase
+// first if needed.
+func (e *Engine) prepared() ([]*stats.Matrix, *store.Store, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.prepareLocked(); err != nil {
+		return nil, nil, err
+	}
+	return e.matrices, e.store, nil
+}
+
 // Matrices exposes the collected bucket matrices (after PrepareStats).
-func (e *Engine) Matrices() []*stats.Matrix { return e.matrices }
+func (e *Engine) Matrices() []*stats.Matrix {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.matrices
+}
+
+// Store exposes the dataset-resident bucket store (after PrepareStats).
+func (e *Engine) Store() *store.Store {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store
+}
 
 // Report describes one query execution end to end.
 type Report struct {
@@ -126,6 +183,13 @@ type Report struct {
 	TopBuckets *topbuckets.Result
 	Assignment *distribute.Assignment
 	Join       *join.Output
+
+	// TreesBuilt and TreesReused attribute bucket-store R-tree activity
+	// to this execution (store counter deltas; under concurrent Execute
+	// calls activity is attributed to whichever query observed it).
+	// A warm engine re-running a query reports TreesBuilt == 0.
+	TreesBuilt  int64
+	TreesReused int64
 
 	// Phase durations (query-time only; the offline statistics phase is
 	// reported on the Engine).
@@ -145,7 +209,8 @@ func (r *Report) Imbalance() float64 {
 	return r.Join.JoinMetrics.Imbalance()
 }
 
-// Execute evaluates q with vertex i reading collection i.
+// Execute evaluates q with vertex i reading collection i. It is safe to
+// call concurrently with other Execute calls on the same engine.
 func (e *Engine) Execute(q *query.Query) (*Report, error) {
 	mapping := make([]int, q.NumVertices)
 	for i := range mapping {
@@ -165,17 +230,20 @@ func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
 	if len(mapping) != q.NumVertices {
 		return nil, fmt.Errorf("core: mapping has %d entries for %d vertices", len(mapping), q.NumVertices)
 	}
-	if err := e.PrepareStats(); err != nil {
+	matrices, st, err := e.prepared()
+	if err != nil {
 		return nil, err
 	}
-	vertexCols := make([]*interval.Collection, q.NumVertices)
 	vertexMs := make([]*stats.Matrix, q.NumVertices)
+	srcs := make([]join.Source, q.NumVertices)
+	grans := make([]stats.Granulation, q.NumVertices)
 	for v, ci := range mapping {
 		if ci < 0 || ci >= len(e.cols) {
 			return nil, fmt.Errorf("core: vertex %d mapped to collection %d of %d", v, ci, len(e.cols))
 		}
-		vertexCols[v] = e.cols[ci]
-		vertexMs[v] = e.matrices[ci].WithCol(v)
+		vertexMs[v] = matrices[ci].WithCol(v)
+		srcs[v] = st.Col(ci)
+		grans[v] = matrices[ci].Gran
 	}
 
 	report := &Report{Query: q}
@@ -201,18 +269,23 @@ func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
 	report.Assignment = assign
 	report.DistributeTime = time.Since(start)
 
-	// Phase 3+4: distributed join and merge. TopBuckets' kthResLB is
-	// handed to the reducers as a certified score floor.
+	// Phase 3+4: distributed join and merge over the resident store.
+	// TopBuckets' kthResLB seeds the shared cross-reducer threshold as a
+	// certified score floor.
 	start = time.Now()
 	localOpts := e.opts.Local
 	if localOpts.Floor < tb.KthResLB {
 		localOpts.Floor = tb.KthResLB
 	}
-	out, err := join.Run(q, vertexCols, vertexMs, tb.Selected, assign, e.opts.K,
+	storeBefore := st.Snapshot()
+	out, err := join.Run(q, srcs, grans, tb.Selected, assign, e.opts.K,
 		mapreduce.Config{Mappers: e.opts.Mappers, Reducers: e.opts.Reducers}, localOpts)
 	if err != nil {
 		return nil, err
 	}
+	storeAfter := st.Snapshot()
+	report.TreesBuilt = storeAfter.TreesBuilt - storeBefore.TreesBuilt
+	report.TreesReused = storeAfter.TreeHits - storeBefore.TreeHits
 	report.Join = out
 	report.Results = out.Results
 	report.JoinTime = time.Since(start)

@@ -191,6 +191,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"fig13", Fig13TrafficScalability},
 		{"fig14", Fig14TrafficEffectOfK},
 		{"ablation", Ablations},
+		{"serving", Serving},
 	}
 	var all []*Table
 	for _, r := range runners {
@@ -219,6 +220,7 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		"fig13":    Fig13TrafficScalability,
 		"fig14":    Fig14TrafficEffectOfK,
 		"ablation": Ablations,
+		"serving":  Serving,
 	}
 	fn, ok := drivers[id]
 	if !ok {

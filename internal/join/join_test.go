@@ -11,6 +11,7 @@ import (
 	"tkij/internal/query"
 	"tkij/internal/scoring"
 	"tkij/internal/stats"
+	"tkij/internal/store"
 	"tkij/internal/topbuckets"
 )
 
@@ -84,6 +85,23 @@ func synthCols(n, perCol int, seed int64) []*interval.Collection {
 	return cols
 }
 
+// storeSources builds the dataset-resident store and the per-vertex
+// sources/granulations vertex i reading collection i.
+func storeSources(t *testing.T, cols []*interval.Collection, ms []*stats.Matrix) ([]Source, []stats.Granulation) {
+	t.Helper()
+	st, err := store.Build(cols, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]Source, len(cols))
+	grans := make([]stats.Granulation, len(cols))
+	for v := range cols {
+		srcs[v] = st.Col(v)
+		grans[v] = ms[v].Gran
+	}
+	return srcs, grans
+}
+
 // pipeline runs the full TKIJ flow for tests.
 func pipeline(t *testing.T, q *query.Query, cols []*interval.Collection, g, k int,
 	strat topbuckets.Strategy, alg distribute.Algorithm, opts LocalOptions) *Output {
@@ -100,7 +118,8 @@ func pipeline(t *testing.T, q *query.Query, cols []*interval.Collection, g, k in
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Run(q, cols, ms, tb.Selected, assign, k, mapreduce.Config{Mappers: 3}, opts)
+	srcs, grans := storeSources(t, cols, ms)
+	out, err := Run(q, srcs, grans, tb.Selected, assign, k, mapreduce.Config{Mappers: 3}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,15 +340,14 @@ func TestRunArgErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(q, cols[:1], ms, tb.Selected, assign, 5, mapreduce.Config{}, LocalOptions{}); err == nil {
-		t.Error("collection count mismatch accepted")
+	srcs, grans := storeSources(t, cols, ms)
+	if _, err := Run(q, srcs[:1], grans[:1], tb.Selected, assign, 5, mapreduce.Config{}, LocalOptions{}); err == nil {
+		t.Error("source count mismatch accepted")
 	}
-	if _, err := Run(q, cols, ms, tb.Selected, assign, 0, maprereduceConfig(), LocalOptions{}); err == nil {
+	if _, err := Run(q, srcs, grans, tb.Selected, assign, 0, mapreduce.Config{}, LocalOptions{}); err == nil {
 		t.Error("k=0 accepted")
 	}
 }
-
-func maprereduceConfig() mapreduce.Config { return mapreduce.Config{} }
 
 func TestScoreMultisetEqual(t *testing.T) {
 	a := []Result{{Score: 1}, {Score: 0.5}}

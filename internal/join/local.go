@@ -3,6 +3,7 @@ package join
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"tkij/internal/solver"
@@ -12,8 +13,55 @@ import (
 	"tkij/internal/rtree"
 	"tkij/internal/scoring"
 	"tkij/internal/stats"
+	"tkij/internal/store"
 	"tkij/internal/topbuckets"
 )
+
+// Source supplies one query vertex's bucket data to the local join:
+// interval slices and memoized R-trees looked up by granule pair.
+// store.ColStore implements it for the dataset-resident serving path;
+// mapSource adapts explicit bucket maps for RunLocal and tests.
+// Implementations shared across reduce tasks must be safe for
+// concurrent use.
+type Source interface {
+	// BucketItems returns bucket (startG, endG)'s intervals (nil when
+	// empty). The slice is read-only and must stay stable across calls.
+	BucketItems(startG, endG int) []interval.Interval
+	// BucketTree returns an R-tree over the bucket's (start, end) points
+	// whose Refs index into BucketItems, or nil for an empty bucket.
+	BucketTree(startG, endG int) *rtree.Tree
+}
+
+// mapSource adapts a vertex-scoped bucket map to Source, building
+// private R-trees lazily. It serves the single-goroutine RunLocal path
+// and is NOT safe for concurrent use.
+type mapSource struct {
+	col  int
+	data map[stats.BucketKey][]interval.Interval
+	tree map[stats.BucketKey]*rtree.Tree
+}
+
+func newMapSource(col int, data map[stats.BucketKey][]interval.Interval) *mapSource {
+	return &mapSource{col: col, data: data, tree: make(map[stats.BucketKey]*rtree.Tree)}
+}
+
+func (ms *mapSource) BucketItems(startG, endG int) []interval.Interval {
+	return ms.data[stats.BucketKey{Col: ms.col, StartG: startG, EndG: endG}]
+}
+
+func (ms *mapSource) BucketTree(startG, endG int) *rtree.Tree {
+	key := stats.BucketKey{Col: ms.col, StartG: startG, EndG: endG}
+	if t, ok := ms.tree[key]; ok {
+		return t
+	}
+	items := ms.data[key]
+	if len(items) == 0 {
+		return nil
+	}
+	t := store.TreeOf(items)
+	ms.tree[key] = t
+	return t
+}
 
 // LocalOptions tunes the per-reducer join. The zero value is the paper's
 // configuration: R-tree candidate access and threshold pruning enabled.
@@ -64,9 +112,23 @@ type LocalStats struct {
 	// possibly raised by a successful probe).
 	FloorUsed float64
 	// MinScore is the lowest score among returned results (the k-th
-	// local result when the reducer filled its list — Figure 8c).
+	// local result when the reducer filled its list — Figure 8c). It is
+	// 0 when the reducer returned no results — never NaN, so reports
+	// survive encoding/json, which rejects NaN; check ResultsReturned
+	// before reading it.
 	MinScore float64
-	Duration time.Duration
+	// BucketRefsRouted is the number of bucket references shuffled to
+	// this reducer by the join job (the store-backed pipeline ships
+	// references, not raw intervals).
+	BucketRefsRouted int
+	// RoutedIntervals is the resident-interval weight of those
+	// references (Σ|b|) — this reducer's share of the replication cost
+	// DTB minimizes.
+	RoutedIntervals float64
+	// SharedFloorFinal is the cross-reducer threshold when this reducer
+	// finished (0 when pruning is disabled or no floor was established).
+	SharedFloorFinal float64
+	Duration         time.Duration
 }
 
 // plan precomputes the vertex binding order and per-level edge sets for
@@ -153,8 +215,12 @@ type localJoiner struct {
 	plan *plan
 	k    int
 	opts LocalOptions
-	data map[stats.BucketKey][]interval.Interval
-	tree map[stats.BucketKey]*rtree.Tree
+	// srcs supplies each query vertex's bucket data (shared,
+	// concurrency-safe on the store-backed path).
+	srcs []Source
+	// shared is the cross-reducer threshold; nil disables sharing (the
+	// RunLocal path and pruning-disabled ablations).
+	shared *SharedFloor
 
 	topk     *TopK
 	tuple    []interval.Interval
@@ -182,14 +248,14 @@ type localJoiner struct {
 	edgeUB []float64
 }
 
-func newLocalJoiner(p *plan, k int, opts LocalOptions, data map[stats.BucketKey][]interval.Interval, grans []stats.Granulation) *localJoiner {
+func newLocalJoiner(p *plan, k int, opts LocalOptions, srcs []Source, grans []stats.Granulation, shared *SharedFloor) *localJoiner {
 	lj := &localJoiner{
 		plan:     p,
 		k:        k,
 		opts:     opts,
-		data:     data,
+		srcs:     srcs,
 		grans:    grans,
-		tree:     make(map[stats.BucketKey]*rtree.Tree),
+		shared:   shared,
 		topk:     NewTopK(k),
 		tuple:    make([]interval.Interval, p.q.NumVertices),
 		partials: make([]float64, len(p.q.Edges)),
@@ -237,6 +303,13 @@ func (lj *localJoiner) Run(combos []topbuckets.Combo) []Result {
 
 	if !lj.opts.DisablePruning {
 		lj.floor = lj.opts.Floor
+		// Adopt whatever threshold faster reducers have already
+		// certified — it both prunes and skips redundant probe rounds.
+		if lj.shared != nil {
+			if s := lj.shared.Load(); s > lj.floor {
+				lj.floor = s
+			}
+		}
 		// Probe ladder: find the highest v for which k results scoring
 		// at least v exist locally; the exact pass then starts with that
 		// threshold.
@@ -247,6 +320,11 @@ func (lj *localJoiner) Run(combos []topbuckets.Combo) []Result {
 			lj.stats.ProbeRounds++
 			if lj.probe(ordered, v) {
 				lj.floor = v
+				// A successful probe certifies k results scoring >= v
+				// locally, which lower-bounds the global k-th score.
+				if lj.shared != nil {
+					lj.shared.Raise(v)
+				}
 				break
 			}
 		}
@@ -267,28 +345,31 @@ func (lj *localJoiner) Run(combos []topbuckets.Combo) []Result {
 	}
 	results := lj.topk.Results()
 	lj.stats.ResultsReturned = len(results)
-	lj.stats.MinScore = math.NaN()
 	if len(results) > 0 {
 		lj.stats.MinScore = results[len(results)-1].Score
+	}
+	if lj.shared != nil {
+		lj.stats.SharedFloorFinal = lj.shared.Load()
 	}
 	lj.stats.Duration = time.Since(start)
 	return results
 }
 
+// sortCombosByUB orders combinations by descending UB, stably, so ties
+// keep the assignment order. One store now serves many queries, and
+// reducer combination lists grow with dataset size — hence a real
+// O(n log n) sort rather than the seed's insertion sort.
 func sortCombosByUB(cs []topbuckets.Combo) {
-	// Deterministic descending-UB order.
-	lessFn := func(a, b topbuckets.Combo) bool { return a.UB > b.UB }
-	sortSliceStable(cs, lessFn)
-}
-
-// sortSliceStable is a tiny insertion sort keeping input order on ties;
-// reducer combination lists are short (tens), so simplicity wins.
-func sortSliceStable(cs []topbuckets.Combo, lessFn func(a, b topbuckets.Combo) bool) {
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && lessFn(cs[j], cs[j-1]); j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
+	slices.SortStableFunc(cs, func(a, b topbuckets.Combo) int {
+		switch {
+		case a.UB > b.UB:
+			return -1
+		case a.UB < b.UB:
+			return 1
+		default:
+			return 0
 		}
-	}
+	})
 }
 
 // probe runs one probe-ladder round at floor v: count (up to k) results
@@ -319,11 +400,26 @@ func (lj *localJoiner) probe(ordered []topbuckets.Combo, v float64) bool {
 	return found
 }
 
+// effectiveFloor is the reducer's active certified score floor: its own
+// (possibly probe-raised) floor or the cross-reducer shared floor,
+// whichever is higher. Probe rounds stay local — consulting the shared
+// floor there would miscount results at probe levels below it.
+func (lj *localJoiner) effectiveFloor() float64 {
+	f := lj.floor
+	if !lj.probing && lj.shared != nil {
+		if s := lj.shared.Load(); s > f {
+			f = s
+		}
+	}
+	return f
+}
+
 // pruneThreshold is the score a candidate must strictly exceed to be
-// worth pursuing: the floor (minus epsilon, so exact-floor scores
-// survive) raised to the current k-th score once the collector fills.
+// worth pursuing: the effective floor (minus epsilon, so exact-floor
+// scores survive) raised to the current k-th score once the collector
+// fills.
 func (lj *localJoiner) pruneThreshold() float64 {
-	thr := lj.floor - floorEps
+	thr := lj.effectiveFloor() - floorEps
 	if !lj.probing && lj.topk.Full() {
 		if t := lj.topk.Threshold(); t > thr {
 			thr = t
@@ -346,14 +442,23 @@ func (lj *localJoiner) recurse(pos int, combo topbuckets.Combo) {
 			}
 			return
 		}
-		if !lj.opts.DisablePruning && score <= lj.floor-floorEps {
+		if !lj.opts.DisablePruning && score <= lj.effectiveFloor()-floorEps {
 			return // certified below the global k-th result
 		}
-		lj.topk.Add(Result{Tuple: append([]interval.Interval(nil), lj.tuple...), Score: score})
+		if lj.topk.Add(Result{Tuple: append([]interval.Interval(nil), lj.tuple...), Score: score}) &&
+			lj.shared != nil && lj.topk.Full() {
+			// This reducer's k-th local score lower-bounds the global
+			// k-th score: publish it so every reducer prunes with it.
+			lj.shared.Raise(lj.topk.Threshold())
+		}
 		return
 	}
 	v := p.order[pos]
-	items := lj.data[combo.Buckets[v].Key()]
+	b := combo.Buckets[v]
+	items := lj.srcs[v].BucketItems(b.StartG, b.EndG)
+	if len(items) == 0 {
+		return
+	}
 	if pos == 0 {
 		for _, iv := range items {
 			lj.tuple[v] = iv
@@ -366,7 +471,7 @@ func (lj *localJoiner) recurse(pos int, combo topbuckets.Combo) {
 	}
 
 	thr := -1.0
-	pruning := !lj.opts.DisablePruning && (lj.probing || lj.topk.Full() || lj.floor > 0)
+	pruning := !lj.opts.DisablePruning && (lj.probing || lj.topk.Full() || lj.effectiveFloor() > 0)
 	if pruning {
 		thr = lj.pruneThreshold()
 	}
@@ -403,26 +508,12 @@ func (lj *localJoiner) recurse(pos int, combo topbuckets.Combo) {
 		}
 		return
 	}
-	tree := lj.treeFor(combo.Buckets[v].Key(), items)
+	tree := lj.srcs[v].BucketTree(b.StartG, b.EndG)
 	box := lj.candidateBox(pos, vmin)
 	tree.Search(box, func(pt rtree.Point) bool {
 		visit(items[pt.Ref])
 		return !lj.stop
 	})
-}
-
-// treeFor lazily builds the R-tree over a bucket's (start, end) points.
-func (lj *localJoiner) treeFor(key stats.BucketKey, items []interval.Interval) *rtree.Tree {
-	if t, ok := lj.tree[key]; ok {
-		return t
-	}
-	pts := make([]rtree.Point, len(items))
-	for i, iv := range items {
-		pts[i] = rtree.Point{X: float64(iv.Start), Y: float64(iv.End), Ref: int32(i)}
-	}
-	t := rtree.Bulk(pts)
-	lj.tree[key] = t
-	return t
 }
 
 // requiredEdgeScore inverts the aggregate threshold into the minimum
@@ -545,11 +636,11 @@ func (lj *localJoiner) partialUpperBound() float64 {
 	return lj.plan.q.Agg.Aggregate(lj.scratch)
 }
 
-// RunLocal evaluates the query over explicit bucket data — the building
-// block the Map-Reduce reduce tasks call, also usable directly for
-// single-process execution and tests.
-// grans (one granulation per query vertex) enables in-combination
-// per-edge bounds; nil is allowed and falls back to trivial bounds.
+// RunLocal evaluates the query over explicit bucket data (keys scoped
+// by query vertex) — usable directly for single-process execution and
+// tests. grans (one granulation per query vertex) enables
+// in-combination per-edge bounds; nil is allowed and falls back to
+// trivial bounds.
 func RunLocal(q *query.Query, k int, combos []topbuckets.Combo, data map[stats.BucketKey][]interval.Interval, grans []stats.Granulation, opts LocalOptions) ([]Result, LocalStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, LocalStats{}, err
@@ -557,7 +648,11 @@ func RunLocal(q *query.Query, k int, combos []topbuckets.Combo, data map[stats.B
 	if k < 1 {
 		return nil, LocalStats{}, fmt.Errorf("join: k must be >= 1, got %d", k)
 	}
-	lj := newLocalJoiner(newPlan(q), k, opts, data, grans)
+	srcs := make([]Source, q.NumVertices)
+	for v := range srcs {
+		srcs[v] = newMapSource(v, data)
+	}
+	lj := newLocalJoiner(newPlan(q), k, opts, srcs, grans, nil)
 	results := lj.Run(combos)
 	return results, lj.stats, nil
 }

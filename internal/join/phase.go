@@ -2,6 +2,7 @@ package join
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"tkij/internal/distribute"
@@ -16,28 +17,50 @@ import (
 type Output struct {
 	// Results is the final top-k, sorted by descending score.
 	Results []Result
-	// JoinMetrics covers the join Map-Reduce job; its ShuffleRecords is
-	// the replication cost DTB minimizes.
+	// JoinMetrics covers the join Map-Reduce job. Its ShuffleRecords
+	// counts routed bucket references — the store-backed pipeline never
+	// ships raw intervals through the shuffle.
 	JoinMetrics *mapreduce.Metrics
 	// MergeMetrics covers the final merge job.
 	MergeMetrics *mapreduce.Metrics
 	// Locals reports each reducer's local join statistics, indexed by
 	// reducer.
 	Locals []LocalStats
+	// RoutedBucketEntries is the number of (bucket → reducer) references
+	// shuffled by the join job: Σ over buckets of the number of reducers
+	// holding them.
+	RoutedBucketEntries int
+	// RoutedIntervalRecords is the resident-interval weight of those
+	// references, Σ|b| × |reducers(b)| — the replication cost DTB
+	// minimizes (Assignment.ReplicatedRecords, preserved under the
+	// reference shuffle).
+	RoutedIntervalRecords float64
+	// RawIntervalsShuffled counts join-shuffle records beyond the routed
+	// bucket references: with the dataset-resident bucket store every
+	// shuffled record is a reference, so this is zero — reducers read
+	// interval slices and memoized R-trees in place. It is derived from
+	// the job's actual shuffle accounting, so a future path that ships
+	// per-interval records again shows up here (and in the regression
+	// tests) immediately.
+	RawIntervalsShuffled int64
+	// SharedFloor is the final cross-reducer threshold (0 when pruning
+	// was disabled).
+	SharedFloor float64
 }
 
-// routeChunk is one map input: a slice of one collection plus the
-// routing tables (shared, read-only).
-type routeChunk struct {
-	col   int
-	items []interval.Interval
+// bucketRoute is one map input of the join job: a bucket reference plus
+// the reducers that need it (from the workload assignment).
+type bucketRoute struct {
+	key      stats.BucketKey // vertex-scoped
+	count    int             // resident |b|, the replication weight
+	reducers []int
 }
 
-// routed is one shuffled record: an interval tagged with its bucket.
-type routed struct {
-	col    int
-	bucket stats.BucketKey
-	iv     interval.Interval
+// routedRef is one shuffled record: a bucket reference bound for one
+// reducer, reduced to exactly what the reducer consumes — the bucket's
+// replication weight. No interval data travels with it.
+type routedRef struct {
+	count int
 }
 
 // reducerOut is one reduce task's full output.
@@ -47,19 +70,23 @@ type reducerOut struct {
 	stats   LocalStats
 }
 
-const routeChunkSize = 8192
-
 // Run executes steps (c)-(e) of Figure 5: the join Map-Reduce job using
-// the given workload assignment, followed by the merge job. cols[i] is
-// the collection of query vertex i; matrices supply the granulations
-// used to route intervals to buckets.
-func Run(q *query.Query, cols []*interval.Collection, matrices []*stats.Matrix,
+// the given workload assignment, followed by the merge job. srcs[i]
+// serves query vertex i's resident bucket data (see Source); grans[i]
+// is the granulation vertex i's buckets live under. The job shuffles
+// bucket references — raw intervals stay resident in the store — and
+// reducers prune against a shared cross-reducer threshold seeded from
+// opts.Floor.
+//
+// srcs implementations must be safe for concurrent use; store.ColStore
+// is.
+func Run(q *query.Query, srcs []Source, grans []stats.Granulation,
 	combos []topbuckets.Combo, assign *distribute.Assignment, k int,
 	cfg mapreduce.Config, opts LocalOptions) (*Output, error) {
 
-	if len(cols) != q.NumVertices || len(matrices) != q.NumVertices {
-		return nil, fmt.Errorf("join: query %s has %d vertices but %d collections / %d matrices",
-			q.Name, q.NumVertices, len(cols), len(matrices))
+	if len(srcs) != q.NumVertices || len(grans) != q.NumVertices {
+		return nil, fmt.Errorf("join: query %s has %d vertices but %d sources / %d granulations",
+			q.Name, q.NumVertices, len(srcs), len(grans))
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("join: k must be >= 1, got %d", k)
@@ -74,46 +101,56 @@ func Run(q *query.Query, cols []*interval.Collection, matrices []*stats.Matrix,
 		}
 	}
 
-	var inputs []routeChunk
-	for col, c := range cols {
-		for lo := 0; lo < len(c.Items); lo += routeChunkSize {
-			hi := lo + routeChunkSize
-			if hi > len(c.Items) {
-				hi = len(c.Items)
-			}
-			inputs = append(inputs, routeChunk{col: col, items: c.Items[lo:hi]})
+	// One input per routed bucket, in deterministic key order. Buckets
+	// outside the assignment (pruned by TopBuckets) are never routed —
+	// the same I/O saving as before, now measured in references.
+	keys := make([]stats.BucketKey, 0, len(assign.BucketReducers))
+	for key := range assign.BucketReducers {
+		keys = append(keys, key)
+	}
+	slices.SortFunc(keys, func(a, b stats.BucketKey) int {
+		if a.Col != b.Col {
+			return a.Col - b.Col
+		}
+		if a.StartG != b.StartG {
+			return a.StartG - b.StartG
+		}
+		return a.EndG - b.EndG
+	})
+	inputs := make([]bucketRoute, len(keys))
+	for i, key := range keys {
+		inputs[i] = bucketRoute{
+			key:      key,
+			count:    len(srcs[key.Col].BucketItems(key.StartG, key.EndG)),
+			reducers: assign.BucketReducers[key],
 		}
 	}
 
-	plan := newPlan(q)
-	grans := make([]stats.Granulation, q.NumVertices)
-	for v := range grans {
-		grans[v] = matrices[v].Gran
+	// The shared global threshold (§3.4's early-termination payoff):
+	// every reducer both consults and raises it.
+	var shared *SharedFloor
+	if !opts.DisablePruning {
+		shared = NewSharedFloor(opts.Floor)
 	}
-	joinJob := mapreduce.Job[routeChunk, int, routed, reducerOut]{
+
+	plan := newPlan(q)
+	joinJob := mapreduce.Job[bucketRoute, int, routedRef, reducerOut]{
 		Name: "rtj-join",
-		Map: func(in routeChunk, emit func(int, routed)) error {
-			gran := matrices[in.col].Gran
-			for _, iv := range in.items {
-				l, lp := gran.BucketOf(iv)
-				key := stats.BucketKey{Col: in.col, StartG: l, EndG: lp}
-				// Intervals in pruned buckets are never shuffled — the
-				// I/O saving TopBuckets buys.
-				for _, rj := range assign.BucketReducers[key] {
-					emit(rj, routed{col: in.col, bucket: key, iv: iv})
-				}
+		Map: func(in bucketRoute, emit func(int, routedRef)) error {
+			for _, rj := range in.reducers {
+				emit(rj, routedRef{count: in.count})
 			}
 			return nil
 		},
 		Partition: mapreduce.IdentityPartition,
-		Reduce: func(rj int, values []routed, emit func(reducerOut)) error {
-			data := make(map[stats.BucketKey][]interval.Interval)
-			for _, v := range values {
-				data[v.bucket] = append(data[v.bucket], v.iv)
-			}
-			lj := newLocalJoiner(plan, k, opts, data, grans)
+		Reduce: func(rj int, refs []routedRef, emit func(reducerOut)) error {
+			lj := newLocalJoiner(plan, k, opts, srcs, grans, shared)
 			results := lj.Run(reducerCombos[rj])
 			lj.stats.Reducer = rj
+			lj.stats.BucketRefsRouted = len(refs)
+			for _, ref := range refs {
+				lj.stats.RoutedIntervals += float64(ref.count)
+			}
 			emit(reducerOut{reducer: rj, results: results, stats: lj.stats})
 			return nil
 		},
@@ -126,6 +163,15 @@ func Run(q *query.Query, cols []*interval.Collection, matrices []*stats.Matrix,
 	out := &Output{JoinMetrics: joinMetrics, Locals: make([]LocalStats, assign.Reducers)}
 	for _, ro := range joinOut {
 		out.Locals[ro.reducer] = ro.stats
+		out.RoutedBucketEntries += ro.stats.BucketRefsRouted
+		out.RoutedIntervalRecords += ro.stats.RoutedIntervals
+	}
+	// Everything the join job shuffled beyond the counted references
+	// would be raw per-interval records; with the resident store there
+	// are none.
+	out.RawIntervalsShuffled = int64(joinMetrics.ShuffleRecords - out.RoutedBucketEntries)
+	if shared != nil {
+		out.SharedFloor = shared.Load()
 	}
 
 	// Merge phase (Figure 5e): a single-reducer Map-Reduce job combining

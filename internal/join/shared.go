@@ -1,0 +1,54 @@
+package join
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// SharedFloor is the cross-reducer score threshold of the serving
+// pipeline: a monotonically increasing max over every reducer's current
+// k-th local score, seeded from TopBuckets' certified kthResLB.
+//
+// Soundness: if any reducer holds k results scoring at least t, the
+// global k-th result also scores at least t, so every reducer may
+// discard candidates scoring strictly below t. DTB deliberately spreads
+// high-scoring combinations across reducers (§3.4) precisely so that
+// each one fills its local top-k early; publishing those thresholds
+// turns that design into actual cross-reducer early termination instead
+// of r private prune floors.
+//
+// The zero value is a floor of 0 (prune nothing); all methods are safe
+// for concurrent use.
+type SharedFloor struct {
+	bits atomic.Uint64
+}
+
+// NewSharedFloor returns a floor seeded at v (negative seeds clamp to 0).
+func NewSharedFloor(v float64) *SharedFloor {
+	s := &SharedFloor{}
+	s.Raise(v)
+	return s
+}
+
+// Load returns the current floor.
+func (s *SharedFloor) Load() float64 {
+	return math.Float64frombits(s.bits.Load())
+}
+
+// Raise lifts the floor to v if v is higher. NaN and non-positive
+// values are ignored, so the floor never regresses and never poisons
+// comparisons.
+func (s *SharedFloor) Raise(v float64) {
+	if !(v > 0) {
+		return
+	}
+	for {
+		old := s.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if s.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

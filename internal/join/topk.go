@@ -76,16 +76,20 @@ func (t *TopK) Threshold() float64 {
 }
 
 // Add offers a result; it is retained if the collector is not full or if
-// it beats the current threshold.
-func (t *TopK) Add(r Result) {
+// it beats the current threshold. It reports whether the result was
+// retained — a retention with Full() true means Threshold() may have
+// risen, the signal the join publishes to the shared floor.
+func (t *TopK) Add(r Result) bool {
 	if !t.Full() {
 		heap.Push(&t.items, r)
-		return
+		return true
 	}
 	if r.Score > t.items[0].Score {
 		t.items[0] = r
 		heap.Fix(&t.items, 0)
+		return true
 	}
+	return false
 }
 
 // Len returns the number of collected results.

@@ -1,0 +1,178 @@
+// Package store is TKIJ's dataset-resident bucket store: the
+// query-independent data layout the offline statistics phase (§3.2)
+// pays for once per dataset and every query reuses.
+//
+// The seed pipeline re-shuffled every raw interval of every collection
+// through the join Map-Reduce job on every execution and rebuilt
+// per-bucket R-trees inside each reducer. The store moves both costs to
+// dataset preparation: each collection's intervals are partitioned by
+// bucket (start granule, end granule) exactly once, and each bucket's
+// R-tree is bulk-built lazily on first use and memoized — shared across
+// queries and across concurrent reducers. The join job then shuffles
+// bucket *references* instead of interval records.
+//
+// All read paths are safe for concurrent use: the partitions are
+// immutable after Build, and tree memoization is per-bucket
+// sync.Once-guarded.
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tkij/internal/interval"
+	"tkij/internal/rtree"
+	"tkij/internal/stats"
+)
+
+// gkey identifies a bucket within one collection: the (start granule,
+// end granule) pair. Collection identity is carried by the ColStore, so
+// vertex-scoped stats.BucketKey Col rewrites (Matrix.WithCol) never
+// touch the store.
+type gkey struct {
+	startG, endG int
+}
+
+// bucket is one resident bucket: its interval slice (immutable) and the
+// lazily built, memoized R-tree over (start, end) points.
+type bucket struct {
+	items []interval.Interval
+	once  sync.Once
+	tree  *rtree.Tree
+}
+
+// ColStore holds one collection's bucket partition. It implements the
+// per-vertex bucket source the join's local evaluation reads from.
+type ColStore struct {
+	col     int
+	gran    stats.Granulation
+	buckets map[gkey]*bucket
+
+	treesBuilt atomic.Int64
+	treeHits   atomic.Int64
+}
+
+// Col returns the collection index the store was built from.
+func (cs *ColStore) Col() int { return cs.col }
+
+// Granulation returns the granulation the partition was built under.
+func (cs *ColStore) Granulation() stats.Granulation { return cs.gran }
+
+// NumBuckets returns the number of non-empty buckets.
+func (cs *ColStore) NumBuckets() int { return len(cs.buckets) }
+
+// BucketItems returns the intervals of bucket (startG, endG), in the
+// collection's original order; nil for an empty bucket.
+func (cs *ColStore) BucketItems(startG, endG int) []interval.Interval {
+	b := cs.buckets[gkey{startG, endG}]
+	if b == nil {
+		return nil
+	}
+	return b.items
+}
+
+// BucketTree returns the memoized R-tree over bucket (startG, endG),
+// bulk-building it on first request. It returns nil for an empty
+// bucket. Safe for concurrent use.
+func (cs *ColStore) BucketTree(startG, endG int) *rtree.Tree {
+	b := cs.buckets[gkey{startG, endG}]
+	if b == nil {
+		return nil
+	}
+	hit := true
+	b.once.Do(func() {
+		hit = false
+		b.tree = TreeOf(b.items)
+		cs.treesBuilt.Add(1)
+	})
+	if hit {
+		cs.treeHits.Add(1)
+	}
+	return b.tree
+}
+
+// TreeOf bulk-builds the R-tree over a bucket's (start, end) points,
+// with Refs indexing into items — the one place the point layout the
+// join's probes rely on is defined.
+func TreeOf(items []interval.Interval) *rtree.Tree {
+	pts := make([]rtree.Point, len(items))
+	for i, iv := range items {
+		pts[i] = rtree.Point{X: float64(iv.Start), Y: float64(iv.End), Ref: int32(i)}
+	}
+	return rtree.Bulk(pts)
+}
+
+// Store holds the resident bucket partitions of one dataset, one
+// ColStore per collection, aligned with the engine's matrices.
+type Store struct {
+	cols []*ColStore
+	// intervals is the total number of intervals partitioned at build.
+	intervals int
+}
+
+// Build partitions each collection's intervals under its matrix's
+// granulation. It is the storage half of the offline statistics phase:
+// run once per dataset, its output serves every subsequent query.
+func Build(cols []*interval.Collection, matrices []*stats.Matrix) (*Store, error) {
+	if len(cols) != len(matrices) {
+		return nil, fmt.Errorf("store: %d collections but %d matrices", len(cols), len(matrices))
+	}
+	s := &Store{cols: make([]*ColStore, len(cols))}
+	var wg sync.WaitGroup
+	for i := range cols {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cs := &ColStore{col: i, gran: matrices[i].Gran, buckets: make(map[gkey]*bucket)}
+			for _, iv := range cols[i].Items {
+				l, lp := cs.gran.BucketOf(iv)
+				k := gkey{l, lp}
+				b := cs.buckets[k]
+				if b == nil {
+					b = &bucket{}
+					cs.buckets[k] = b
+				}
+				b.items = append(b.items, iv)
+			}
+			s.cols[i] = cs
+		}(i)
+	}
+	wg.Wait()
+	for i := range cols {
+		s.intervals += cols[i].Len()
+	}
+	return s, nil
+}
+
+// Col returns the store of collection i.
+func (s *Store) Col(i int) *ColStore { return s.cols[i] }
+
+// NumCols returns the number of collections.
+func (s *Store) NumCols() int { return len(s.cols) }
+
+// Intervals returns the total number of intervals partitioned at build.
+func (s *Store) Intervals() int { return s.intervals }
+
+// Stats is a snapshot of the store's cumulative activity.
+type Stats struct {
+	// Buckets is the number of resident non-empty buckets.
+	Buckets int
+	// TreesBuilt counts R-trees bulk-built since Build.
+	TreesBuilt int64
+	// TreeHits counts memoized R-tree lookups that reused an existing
+	// tree.
+	TreeHits int64
+}
+
+// Snapshot returns the store's cumulative activity counters. Deltas
+// between snapshots attribute tree builds and reuses to one query.
+func (s *Store) Snapshot() Stats {
+	var st Stats
+	for _, cs := range s.cols {
+		st.Buckets += len(cs.buckets)
+		st.TreesBuilt += cs.treesBuilt.Load()
+		st.TreeHits += cs.treeHits.Load()
+	}
+	return st
+}

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tkij/internal/interval"
+	"tkij/internal/mapreduce"
+	"tkij/internal/rtree"
+	"tkij/internal/stats"
+)
+
+func synthCols(n, perCol int, seed int64) []*interval.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]*interval.Collection, n)
+	for i := range cols {
+		c := &interval.Collection{Name: "C"}
+		for j := 0; j < perCol; j++ {
+			s := rng.Int63n(2000)
+			c.Add(interval.Interval{ID: int64(i*1000000 + j), Start: s, End: s + 1 + rng.Int63n(80)})
+		}
+		cols[i] = c
+	}
+	return cols
+}
+
+func buildStore(t *testing.T, cols []*interval.Collection, g int) (*Store, []*stats.Matrix) {
+	t.Helper()
+	ms, _, err := stats.Collect(cols, g, mapreduce.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(cols, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ms
+}
+
+// The partition must be lossless: every interval lands in exactly the
+// bucket its granulation assigns, and bucket sizes match the matrix.
+func TestBuildPartitionsMatchMatrices(t *testing.T) {
+	cols := synthCols(3, 200, 7)
+	s, ms := buildStore(t, cols, 6)
+	if s.Intervals() != 600 {
+		t.Fatalf("Intervals = %d, want 600", s.Intervals())
+	}
+	for i, m := range ms {
+		cs := s.Col(i)
+		if cs.Col() != i || cs.Granulation() != m.Gran {
+			t.Fatalf("col %d store mislabeled", i)
+		}
+		total := 0
+		for _, b := range m.Buckets() {
+			items := cs.BucketItems(b.StartG, b.EndG)
+			if len(items) != b.Count {
+				t.Fatalf("col %d bucket (%d,%d): %d resident items, matrix says %d",
+					i, b.StartG, b.EndG, len(items), b.Count)
+			}
+			for _, iv := range items {
+				l, lp := m.Gran.BucketOf(iv)
+				if l != b.StartG || lp != b.EndG {
+					t.Fatalf("interval %v filed under (%d,%d), belongs in (%d,%d)",
+						iv, b.StartG, b.EndG, l, lp)
+				}
+			}
+			total += len(items)
+		}
+		if total != cols[i].Len() {
+			t.Fatalf("col %d partition holds %d intervals, collection has %d", i, total, cols[i].Len())
+		}
+		if cs.NumBuckets() != len(m.Buckets()) {
+			t.Fatalf("col %d has %d buckets, matrix has %d non-empty cells", i, cs.NumBuckets(), len(m.Buckets()))
+		}
+	}
+}
+
+// Trees are built once and the same pointer is returned forever after.
+func TestTreeMemoization(t *testing.T) {
+	cols := synthCols(1, 100, 3)
+	s, ms := buildStore(t, cols, 4)
+	cs := s.Col(0)
+	b := ms[0].Buckets()[0]
+	t1 := cs.BucketTree(b.StartG, b.EndG)
+	t2 := cs.BucketTree(b.StartG, b.EndG)
+	if t1 == nil || t1 != t2 {
+		t.Fatal("memoized tree not reused")
+	}
+	if t1.Len() != b.Count {
+		t.Fatalf("tree indexes %d points, bucket has %d", t1.Len(), b.Count)
+	}
+	st := s.Snapshot()
+	if st.TreesBuilt != 1 || st.TreeHits != 1 {
+		t.Fatalf("Snapshot = %+v, want 1 build and 1 hit", st)
+	}
+	if cs.BucketItems(-1, -1) != nil || cs.BucketTree(-1, -1) != nil {
+		t.Fatal("empty bucket should yield nil items and nil tree")
+	}
+}
+
+// Concurrent readers hammering the same buckets must race-safely share
+// one tree per bucket (run under -race).
+func TestConcurrentTreeAccess(t *testing.T) {
+	cols := synthCols(2, 300, 11)
+	s, ms := buildStore(t, cols, 5)
+	var wg sync.WaitGroup
+	trees := make([][]*rtree.Tree, 8)
+	buckets := ms[0].Buckets()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, b := range buckets {
+				trees[g] = append(trees[g], s.Col(0).BucketTree(b.StartG, b.EndG))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := range trees[0] {
+			if trees[g][i] != trees[0][i] {
+				t.Fatal("goroutines observed different trees for one bucket")
+			}
+		}
+	}
+	if st := s.Snapshot(); st.TreesBuilt != int64(len(buckets)) {
+		t.Fatalf("built %d trees for %d buckets", st.TreesBuilt, len(buckets))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cols := synthCols(2, 10, 1)
+	ms, _, err := stats.Collect(cols, 3, mapreduce.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(cols[:1], ms); err == nil {
+		t.Error("mismatched collection/matrix counts accepted")
+	}
+}
