@@ -221,6 +221,15 @@ func NewEngine(cols []*Collection, opts Options) (*Engine, error) {
 	return core.NewEngine(cols, opts)
 }
 
+// OpenEngine restores a warm engine from a snapshot written by
+// Engine.SaveSnapshot: the offline phase (bucket matrices + resident
+// bucket store) is loaded from the file instead of computed, so the
+// first query runs zero statistics work. cols must be the dataset the
+// snapshot was built from.
+func OpenEngine(cols []*Collection, snapshotPath string, opts Options) (*Engine, error) {
+	return core.OpenEngine(cols, snapshotPath, opts)
+}
+
 // Exhaustive computes the exact top-k by in-memory enumeration — the
 // correctness oracle used in tests and experiments. Exponential in the
 // number of collections; use at small scale only.

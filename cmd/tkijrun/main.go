@@ -16,6 +16,8 @@
 //	tkijrun -query Qo,m -strategy two-phase -dist LPT C1.tsv C2.tsv C3.tsv
 //	tkijrun -query Qb,b -repeat 5 -v C1.tsv C2.tsv C3.tsv   # warm-path timings
 //	tkijrun -query Qb,b -json C1.tsv C2.tsv C3.tsv          # machine-readable report
+//	tkijrun -query Qb,b -save-stats s.tkij C1.tsv C2.tsv C3.tsv  # persist the offline phase
+//	tkijrun -query Qb,b -load-stats s.tkij C1.tsv C2.tsv C3.tsv  # restart without re-computing it
 package main
 
 import (
@@ -45,9 +47,12 @@ type jsonRun struct {
 }
 
 type jsonReport struct {
-	Query       string       `json:"query"`
-	K           int          `json:"k"`
-	PrepMillis  float64      `json:"prep_ms"`
+	Query      string  `json:"query"`
+	K          int     `json:"k"`
+	PrepMillis float64 `json:"prep_ms"`
+	// Restored reports whether the offline phase came from a snapshot
+	// (-load-stats) instead of being computed.
+	Restored    bool         `json:"restored"`
 	Runs        []jsonRun    `json:"runs"`
 	Results     []jsonResult `json:"results"`
 	NumReducers int          `json:"reducers"`
@@ -73,6 +78,8 @@ func main() {
 		dist      = flag.String("dist", "DTB", "workload distribution: DTB | LPT | RoundRobin")
 		self      = flag.Bool("self", false, "self-join: map every query vertex to the first collection")
 		repeat    = flag.Int("repeat", 1, "execute the query N times on the warm engine")
+		saveStats = flag.String("save-stats", "", "after the offline phase, persist matrices + bucket store to this snapshot file")
+		loadStats = flag.String("load-stats", "", "restore the offline phase from a snapshot file instead of computing it")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 		verbose   = flag.Bool("v", false, "print phase metrics")
 		top       = flag.Int("print", 10, "number of results to print")
@@ -118,9 +125,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	engine, err := tkij.NewEngine(cols, tkij.Options{
+	opts := tkij.Options{
 		Granules: *g, K: *k, Reducers: *reducers, Strategy: strat, Distribution: alg,
-	})
+	}
+	var engine *tkij.Engine
+	if *loadStats != "" {
+		// Restored engine: the offline phase is read back from the
+		// snapshot, so PrepareStats below is a no-op and the first query
+		// runs zero statistics work.
+		engine, err = tkij.OpenEngine(cols, *loadStats, opts)
+	} else {
+		engine, err = tkij.NewEngine(cols, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -138,8 +154,14 @@ func main() {
 	if err := engine.PrepareStats(); err != nil {
 		fatal(err)
 	}
+	if *saveStats != "" {
+		if err := engine.SaveSnapshot(*saveStats); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tkijrun: offline phase saved to %s\n", *saveStats)
+	}
 	jr := jsonReport{Query: q.Name, K: *k, NumReducers: *reducers,
-		PrepMillis: millis(engine.StatsDuration)}
+		PrepMillis: millis(engine.StatsDuration), Restored: engine.Restored()}
 
 	var report *tkij.Report
 	for run := 0; run < *repeat; run++ {

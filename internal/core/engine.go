@@ -19,6 +19,7 @@ import (
 	"tkij/internal/join"
 	"tkij/internal/mapreduce"
 	"tkij/internal/query"
+	"tkij/internal/snapshot"
 	"tkij/internal/stats"
 	"tkij/internal/store"
 	"tkij/internal/topbuckets"
@@ -73,16 +74,23 @@ type Engine struct {
 	mu       sync.Mutex
 	matrices []*stats.Matrix
 	store    *store.Store
+	restored bool
 
 	// StatsMetrics describes the statistics-collection job after
 	// PrepareStats (or the first Execute) has run. Like StatsDuration
 	// and StoreBuildDuration, read it only after PrepareStats returns.
+	// An engine restored from a snapshot (OpenEngine) never runs the
+	// statistics job, so StatsMetrics stays nil until something forces a
+	// re-collection.
 	StatsMetrics *mapreduce.Metrics
-	// StatsDuration is the offline pre-processing wall time (statistics
-	// job + bucket-store build).
+	// StatsDuration is the offline pre-processing wall time: statistics
+	// job + bucket-store build, accumulated across store rebuilds
+	// (InvalidateStore). For a restored engine it is the snapshot
+	// restore time — the cost that replaced the offline phase.
 	StatsDuration time.Duration
 	// StoreBuildDuration is the share of StatsDuration spent
-	// partitioning intervals into the resident bucket store.
+	// partitioning intervals into the resident bucket store (zero for a
+	// restored engine, whose partition came from the snapshot).
 	StoreBuildDuration time.Duration
 }
 
@@ -102,6 +110,68 @@ func NewEngine(cols []*interval.Collection, opts Options) (*Engine, error) {
 		}
 	}
 	return &Engine{opts: opts.withDefaults(), cols: cols}, nil
+}
+
+// OpenEngine restores a warm engine from a snapshot previously written
+// by SaveSnapshot: the bucket matrices and the resident bucket
+// partition are loaded from the file, so the engine's first Execute
+// runs zero statistics work — no statistics job, no shuffle, no
+// partitioning; R-trees are still memoized lazily on demand. cols must
+// be the same dataset the snapshot was built from (same collection
+// count, sizes and contents — the cheap invariants are verified here,
+// content identity is the caller's contract, as the point of a snapshot
+// is not re-reading the data to prove it). The snapshot's granulation
+// wins over opts.Granules; it is what the persisted partition was built
+// under.
+func OpenEngine(cols []*interval.Collection, snapshotPath string, opts Options) (*Engine, error) {
+	e, err := NewEngine(cols, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	st, ms, err := snapshot.Load(snapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) != len(cols) {
+		return nil, fmt.Errorf("core: snapshot %s holds %d collections, engine has %d", snapshotPath, len(ms), len(cols))
+	}
+	for i, m := range ms {
+		if m.Total() != cols[i].Len() {
+			return nil, fmt.Errorf("core: snapshot %s collection %d has %d intervals, dataset has %d — snapshot is for a different dataset",
+				snapshotPath, i, m.Total(), cols[i].Len())
+		}
+	}
+	e.matrices = ms
+	e.store = st
+	e.restored = true
+	// The snapshot's granulation is what the persisted partition was
+	// built under; reflect it in the engine's options so Options()
+	// reports the g actually in effect, not a conflicting flag value.
+	e.opts.Granules = ms[0].Gran.G
+	e.StatsDuration = time.Since(start)
+	return e, nil
+}
+
+// SaveSnapshot persists the offline phase (matrices + bucket
+// partition) to path as one versioned, checksummed snapshot file,
+// preparing the engine first if needed. OpenEngine restores it.
+func (e *Engine) SaveSnapshot(path string) error {
+	if err := e.PrepareStats(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	ms, st := e.matrices, e.store
+	e.mu.Unlock()
+	return snapshot.Save(path, st, ms)
+}
+
+// Restored reports whether this engine was opened from a snapshot
+// (OpenEngine) rather than built by running the offline phase.
+func (e *Engine) Restored() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.restored
 }
 
 // Options returns the engine's effective (defaulted) options.
@@ -130,24 +200,48 @@ func (e *Engine) prepareLocked() error {
 		return nil
 	}
 	start := time.Now()
-	ms, metrics, err := stats.Collect(e.cols, e.opts.Granules, mapreduce.Config{
-		Mappers:  e.opts.Mappers,
-		Reducers: len(e.cols),
-	})
-	if err != nil {
-		return err
+	if e.matrices == nil {
+		ms, metrics, err := stats.Collect(e.cols, e.opts.Granules, mapreduce.Config{
+			Mappers:  e.opts.Mappers,
+			Reducers: len(e.cols),
+		})
+		if err != nil {
+			return err
+		}
+		e.matrices = ms
+		e.StatsMetrics = metrics
 	}
+	// The matrices may outlive the store: InvalidateStore (after a
+	// stats.ApplyUpdate) clears only the partition, so the rebuild here
+	// reuses the incrementally maintained matrices instead of re-running
+	// the statistics job.
 	buildStart := time.Now()
-	st, err := store.Build(e.cols, ms)
+	st, err := store.Build(e.cols, e.matrices)
 	if err != nil {
 		return err
 	}
-	e.matrices = ms
 	e.store = st
-	e.StatsMetrics = metrics
-	e.StoreBuildDuration = time.Since(buildStart)
-	e.StatsDuration = time.Since(start)
+	e.StoreBuildDuration += time.Since(buildStart)
+	e.StatsDuration += time.Since(start)
 	return nil
+}
+
+// InvalidateStore discards the resident bucket partition (and its
+// memoized R-trees) so the next Execute or PrepareStats rebuilds it
+// from the engine's collections and current matrices. Call it after
+// mutating the collections and folding the change into the matrices
+// with stats.ApplyUpdate — the store is built from a point-in-time copy
+// of the data, so without invalidation a prepared engine keeps serving
+// the pre-update buckets. The matrices themselves are kept: the rebuild
+// runs zero statistics-job work.
+//
+// Do not call it concurrently with in-flight Execute calls on data that
+// changed underneath them: quiesce queries, apply the update, then
+// invalidate.
+func (e *Engine) InvalidateStore() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store = nil
 }
 
 // prepared returns the matrices and store, running the offline phase
@@ -162,6 +256,9 @@ func (e *Engine) prepared() ([]*stats.Matrix, *store.Store, error) {
 }
 
 // Matrices exposes the collected bucket matrices (after PrepareStats).
+// Callers that mutate a matrix in place (stats.ApplyUpdate) must call
+// InvalidateStore afterwards, or the engine keeps serving the bucket
+// partition built from the pre-update counts.
 func (e *Engine) Matrices() []*stats.Matrix {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -272,7 +369,6 @@ func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
 	// Phase 3+4: distributed join and merge over the resident store.
 	// TopBuckets' kthResLB seeds the shared cross-reducer threshold as a
 	// certified score floor.
-	start = time.Now()
 	localOpts := e.opts.Local
 	if localOpts.Floor < tb.KthResLB {
 		localOpts.Floor = tb.KthResLB
@@ -288,11 +384,12 @@ func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
 	report.TreesReused = storeAfter.TreeHits - storeBefore.TreeHits
 	report.Join = out
 	report.Results = out.Results
-	report.JoinTime = time.Since(start)
-	if out.MergeMetrics != nil {
-		report.MergeTime = out.MergeMetrics.Total
-		report.JoinTime -= report.MergeTime
-	}
+	// The two jobs are timed independently inside join.Run. Deriving
+	// MergeTime from the merge job's internal Metrics.Total and
+	// subtracting it from one outer window went negative under scheduler
+	// contention (the inner measurement can exceed the outer one).
+	report.JoinTime = out.JoinDuration
+	report.MergeTime = out.MergeDuration
 	report.Total = time.Since(total)
 	return report, nil
 }

@@ -4,9 +4,11 @@ import (
 	"sync"
 	"testing"
 
+	"tkij/internal/interval"
 	"tkij/internal/join"
 	"tkij/internal/query"
 	"tkij/internal/scoring"
+	"tkij/internal/stats"
 )
 
 // Warm-engine regression: the second execution of a query must shuffle
@@ -112,6 +114,129 @@ func TestConcurrentExecute(t *testing.T) {
 	}
 	if st := e.Store(); st == nil || st.Intervals() != 180 {
 		t.Fatal("store missing or incomplete after concurrent executes")
+	}
+}
+
+// Regression: when every combination is pruned (a floor above any
+// achievable score — the same shape as an empty selection/assignment),
+// Execute must return an empty non-nil result slice with merge metrics
+// populated, not a nil slice.
+func TestExecuteEmptySelectionPath(t *testing.T) {
+	cols := synthCols(3, 60, 31)
+	e, err := NewEngine(cols, Options{Granules: 5, K: 5, Reducers: 3,
+		Local: join.LocalOptions{Floor: 1.1}}) // no score can reach 1.1
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := e.Execute(query.Qom(query.Env{Params: scoring.P1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Results == nil {
+		t.Fatal("Results is nil on the empty path; want an empty non-nil slice")
+	}
+	if len(report.Results) != 0 {
+		t.Fatalf("floor 1.1 returned %d results", len(report.Results))
+	}
+	if report.Join.MergeMetrics == nil {
+		t.Fatal("MergeMetrics missing on the empty path")
+	}
+	for _, l := range report.Join.Locals {
+		if l.CombosProcessed != 0 {
+			t.Fatalf("reducer %d processed %d combos under an unreachable floor", l.Reducer, l.CombosProcessed)
+		}
+	}
+}
+
+// Regression: phase durations are measured independently inside
+// join.Run; none may come out negative (JoinTime used to be an outer
+// window minus the merge job's internal Total, which under scheduler
+// contention could exceed it).
+func TestPhaseDurationsNonNegative(t *testing.T) {
+	cols := synthCols(3, 80, 37)
+	e, err := NewEngine(cols, Options{Granules: 5, K: 8, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Qbb(query.Env{Params: scoring.P1})
+	for i := 0; i < 5; i++ {
+		report, err := e.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.TopBucketsTime < 0 || report.DistributeTime < 0 ||
+			report.JoinTime < 0 || report.MergeTime < 0 || report.Total < 0 {
+			t.Fatalf("negative phase duration: %+v", report)
+		}
+		if report.JoinTime+report.MergeTime > report.Total {
+			t.Fatalf("join %v + merge %v exceed total %v", report.JoinTime, report.MergeTime, report.Total)
+		}
+	}
+}
+
+// Regression: stats.ApplyUpdate mutates a matrix the resident store was
+// built from; without invalidation a prepared engine keeps serving the
+// pre-update buckets. After InvalidateStore the next query must see the
+// updated data — and must get there without re-running the statistics
+// job.
+func TestInvalidateStoreServesFreshData(t *testing.T) {
+	cols := synthCols(3, 25, 19)
+	const k = 8
+	e, err := NewEngine(cols, Options{Granules: 5, K: k, Reducers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Qss(query.Env{Params: scoring.P1})
+	before, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBefore := e.StatsMetrics
+
+	// Insert a perfect s-starts chain — shared start, ends spaced a full
+	// greater-ramp apart, well inside the granulation span so the fixed
+	// granulation stays a valid partition — into each collection, then
+	// maintain the matrices. Random sparse data almost never scores 1.0
+	// on Qs,s (it needs near-equal starts twice), so this provably
+	// changes the top-k.
+	inserts := [][]interval.Interval{
+		{{ID: 900001, Start: 1000, End: 1010}},
+		{{ID: 900002, Start: 1000, End: 1020}},
+		{{ID: 900003, Start: 1000, End: 1030}},
+	}
+	for i, ins := range inserts {
+		cols[i].Items = append(cols[i].Items, ins...)
+		if err := stats.ApplyUpdate(e.Matrices()[i], ins, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oracle, err := join.Exhaustive(q, cols, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if join.ScoreMultisetEqual(oracle, before.Results, 1e-9) {
+		t.Fatal("test setup broken: the inserted chain did not change the top-k")
+	}
+
+	// Without invalidation the engine still serves the stale partition.
+	stale, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.ScoreMultisetEqual(stale.Results, before.Results, 1e-9) {
+		t.Fatal("pre-invalidation query did not serve the (stale) resident store")
+	}
+
+	e.InvalidateStore()
+	fresh, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.ScoreMultisetEqual(fresh.Results, oracle, 1e-9) {
+		t.Fatal("post-InvalidateStore query does not see the inserted data")
+	}
+	if e.StatsMetrics != metricsBefore {
+		t.Fatal("store rebuild re-ran the statistics job; matrices are maintained incrementally")
 	}
 }
 

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+)
+
+// The acceptance contract of the snapshot subsystem: an engine restored
+// with OpenEngine answers its first query with zero statistics work —
+// no statistics job, no store partitioning — and returns the same
+// top-k score multiset as the engine that computed the offline phase,
+// on every example query of the catalog.
+func TestOpenEngineServesEveryExampleQuery(t *testing.T) {
+	cols := synthCols(3, 150, 41)
+	opts := Options{Granules: 6, K: 12, Reducers: 4}
+	built, err := NewEngine(cols, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "stats.tkij")
+	if err := built.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := OpenEngine(cols, path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Restored() {
+		t.Fatal("Restored() = false for a snapshot-opened engine")
+	}
+	if restored.StatsMetrics != nil {
+		t.Fatal("restored engine reports a statistics job — the snapshot should have replaced it")
+	}
+	if restored.StatsDuration <= 0 {
+		t.Fatal("restore time not recorded in StatsDuration")
+	}
+	if restored.StoreBuildDuration != 0 {
+		t.Fatal("restored engine reports a store build")
+	}
+	st := restored.Store()
+	if st == nil || st.Intervals() != built.Store().Intervals() {
+		t.Fatal("restored store missing or incomplete")
+	}
+	// Trees are memoized on demand, not during restore.
+	if snap := st.Snapshot(); snap.TreesBuilt != 0 {
+		t.Fatalf("restore eagerly built %d R-trees", snap.TreesBuilt)
+	}
+
+	env := query.Env{Params: scoring.P1, Avg: interval.AvgLength(cols...)}
+	queries := []*query.Query{
+		query.Qbb(env), query.Qff(env), query.Qoo(env), query.Qss(env),
+		query.Qsfm(env), query.Qfb(env), query.Qom(env), query.Qsm(env),
+		query.QjBjB(env),
+	}
+	for _, q := range queries {
+		want, err := built.Execute(q)
+		if err != nil {
+			t.Fatalf("%s on built engine: %v", q.Name, err)
+		}
+		got, err := restored.Execute(q)
+		if err != nil {
+			t.Fatalf("%s on restored engine: %v", q.Name, err)
+		}
+		if !join.ScoreMultisetEqual(got.Results, want.Results, 1e-9) {
+			t.Fatalf("query %s: restored engine diverged from built engine", q.Name)
+		}
+	}
+	// Execute must not have silently re-run the offline phase.
+	if restored.StatsMetrics != nil {
+		t.Fatal("restored engine re-ran the statistics job during Execute")
+	}
+}
+
+func TestOpenEngineValidatesDataset(t *testing.T) {
+	cols := synthCols(3, 80, 17)
+	path := filepath.Join(t.TempDir(), "stats.tkij")
+	built, err := NewEngine(cols, Options{Granules: 5, K: 5, Reducers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := built.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenEngine(cols[:2], path, Options{}); err == nil {
+		t.Error("snapshot accepted for the wrong number of collections")
+	}
+	shrunk := []*interval.Collection{cols[0], cols[1], {Name: "C", Items: cols[2].Items[:40]}}
+	if _, err := OpenEngine(shrunk, path, Options{}); err == nil {
+		t.Error("snapshot accepted for a dataset of a different size")
+	}
+	if _, err := OpenEngine(cols, filepath.Join(t.TempDir(), "absent.tkij"), Options{}); err == nil {
+		t.Error("missing snapshot file accepted")
+	}
+
+	// The snapshot's granulation wins over a conflicting option, and
+	// Options() must report the g actually in effect.
+	e, err := OpenEngine(cols, path, Options{Granules: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Options().Granules; got != 5 {
+		t.Errorf("Options().Granules = %d after restoring a g=5 snapshot", got)
+	}
+}
+
+// A restored engine keeps the full serving contract: warm executions
+// reuse memoized trees and shuffle zero raw intervals.
+func TestOpenEngineWarmPath(t *testing.T) {
+	cols := synthCols(3, 120, 23)
+	opts := Options{Granules: 6, K: 10, Reducers: 4}
+	built, err := NewEngine(cols, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "stats.tkij")
+	if err := built.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenEngine(cols, path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Qom(query.Env{Params: scoring.P1})
+	first, err := restored.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := restored.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TreesBuilt == 0 {
+		t.Fatal("first restored query built no trees — nothing was exercised")
+	}
+	if second.TreesBuilt != 0 || second.TreesReused == 0 {
+		t.Fatalf("second restored query built %d trees, reused %d; want 0 and >0", second.TreesBuilt, second.TreesReused)
+	}
+	for _, r := range []*Report{first, second} {
+		if r.Join.RawIntervalsShuffled != 0 {
+			t.Fatalf("restored engine shuffled %d raw intervals", r.Join.RawIntervalsShuffled)
+		}
+	}
+}

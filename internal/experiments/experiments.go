@@ -192,6 +192,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"fig14", Fig14TrafficEffectOfK},
 		{"ablation", Ablations},
 		{"serving", Serving},
+		{"restart", Restart},
 	}
 	var all []*Table
 	for _, r := range runners {
@@ -221,6 +222,7 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		"fig14":    Fig14TrafficEffectOfK,
 		"ablation": Ablations,
 		"serving":  Serving,
+		"restart":  Restart,
 	}
 	fn, ok := drivers[id]
 	if !ok {

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tkij/internal/core"
+	"tkij/internal/datagen"
+	"tkij/internal/distribute"
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+	"tkij/internal/topbuckets"
+)
+
+// Restart measures what snapshot persistence buys an engine restart
+// (beyond the paper, toward always-on serving): the offline phase is
+// paid once, saved to disk, and a fresh engine restored from the file
+// answers its first query with zero statistics work. The first table
+// compares cold build vs. save vs. restore; the second proves the
+// restored engine returns the same top-k as the engine that computed
+// its statistics.
+func Restart(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.size(20000)
+	k := cfg.k(100)
+	const g = 20
+	cols := []*interval.Collection{
+		datagen.Uniform("C1", n, 91), datagen.Uniform("C2", n, 92), datagen.Uniform("C3", n, 93),
+	}
+	opts := join.LocalOptions{}
+	cold, err := engineFor(cols, g, k, topbuckets.Loose, distribute.AlgDTB, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	buildStart := time.Now()
+	if err := cold.PrepareStats(); err != nil {
+		return nil, err
+	}
+	build := time.Since(buildStart)
+
+	dir, err := os.MkdirTemp("", "tkij-restart")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "stats.tkij")
+	saveStart := time.Now()
+	if err := cold.SaveSnapshot(path); err != nil {
+		return nil, err
+	}
+	save := time.Since(saveStart)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	restoreStart := time.Now()
+	warm, err := core.OpenEngine(cols, path, cold.Options())
+	if err != nil {
+		return nil, err
+	}
+	restore := time.Since(restoreStart)
+	if !warm.Restored() || warm.StatsMetrics != nil {
+		return nil, fmt.Errorf("restart: restored engine ran the statistics job")
+	}
+	speedup := 0.0
+	if restore > 0 {
+		speedup = float64(build) / float64(restore)
+	}
+
+	t := &Table{
+		ID:      "restart",
+		Title:   fmt.Sprintf("Engine restart via snapshot (|Ci|=%d, g=%d, snapshot %d KiB)", n, g, fi.Size()/1024),
+		Columns: []string{"phase", "wall(ms)", "vs-cold-build"},
+		Note:    "restore replaces the whole offline phase (statistics job + partition build) with one validated file read",
+	}
+	t.Rows = append(t.Rows,
+		[]string{"cold-build", ms(build), "1.00x"},
+		[]string{"save", ms(save), ""},
+		[]string{"restore", ms(restore), fmt.Sprintf("%.2fx faster", speedup)},
+	)
+	cfg.logf("  restart: cold build %s ms, restore %s ms", ms(build), ms(restore))
+
+	env := query.Env{Params: scoring.P1}
+	tq := &Table{
+		ID:      "restart-equality",
+		Title:   "First query on the restored engine vs. the engine that computed its statistics",
+		Columns: []string{"query", "cold(ms)", "restored(ms)", "restored-trees-built", "top-k-equal"},
+		Note:    "restored runs pay only on-demand R-tree builds; score multisets must match exactly",
+	}
+	for _, q := range queriesByName(env, "Qb,b", "Qo,m", "Qs,m") {
+		cr, err := cold.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		wr, err := warm.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		equal := join.ScoreMultisetEqual(cr.Results, wr.Results, 1e-9)
+		if !equal {
+			return nil, fmt.Errorf("restart: query %s diverged after restore", q.Name)
+		}
+		tq.Rows = append(tq.Rows, []string{
+			q.Name, ms(cr.Total), ms(wr.Total),
+			fmt.Sprintf("%d", wr.TreesBuilt), fmt.Sprintf("%t", equal),
+		})
+		cfg.logf("  restart %s done", q.Name)
+	}
+	return []*Table{t, tq}, nil
+}

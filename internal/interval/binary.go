@@ -1,0 +1,120 @@
+package interval
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The binary codec is the sibling of the text codec: fixed-width
+// little-endian words, used by the snapshot layer to persist the offline
+// phase (bucket matrices + bucket partitions). Interval slices are laid
+// out as contiguous (ID, Start, End) int64 triples — 24 bytes per
+// interval, every field 8-byte aligned — so a future reader can mmap a
+// snapshot and cast a bucket's byte range in place instead of decoding
+// it.
+
+// BinaryIntervalSize is the encoded size of one interval: three int64
+// words (ID, Start, End).
+const BinaryIntervalSize = 24
+
+// AppendU64 appends v in little-endian order.
+func AppendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// AppendI64 appends v in little-endian two's-complement order.
+func AppendI64(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+// PutU64 overwrites b[0:8] with v in little-endian order — used to
+// backfill length prefixes reserved before appending a payload in
+// place, so encoders never buffer a section just to learn its size.
+func PutU64(b []byte, v uint64) {
+	binary.LittleEndian.PutUint64(b, v)
+}
+
+// AppendIntervals appends ivs in the contiguous fixed-width layout,
+// preserving order.
+func AppendIntervals(dst []byte, ivs []Interval) []byte {
+	for _, iv := range ivs {
+		dst = AppendI64(dst, iv.ID)
+		dst = AppendI64(dst, iv.Start)
+		dst = AppendI64(dst, iv.End)
+	}
+	return dst
+}
+
+// DecodeIntervals decodes a contiguous interval slice. The buffer length
+// must be an exact multiple of BinaryIntervalSize; every decoded
+// interval is validated (Start <= End) so corruption fails loudly.
+func DecodeIntervals(b []byte) ([]Interval, error) {
+	if len(b)%BinaryIntervalSize != 0 {
+		return nil, fmt.Errorf("interval: binary payload of %d bytes is not a whole number of intervals", len(b))
+	}
+	out := make([]Interval, len(b)/BinaryIntervalSize)
+	for i := range out {
+		off := i * BinaryIntervalSize
+		iv := Interval{
+			ID:    int64(binary.LittleEndian.Uint64(b[off:])),
+			Start: int64(binary.LittleEndian.Uint64(b[off+8:])),
+			End:   int64(binary.LittleEndian.Uint64(b[off+16:])),
+		}
+		if !iv.Valid() {
+			return nil, fmt.Errorf("interval: binary payload interval %d: start %d > end %d", i, iv.Start, iv.End)
+		}
+		out[i] = iv
+	}
+	return out, nil
+}
+
+// BinaryReader cursors over a binary payload with sticky error handling:
+// after the first short read every subsequent read returns zero values
+// and Err reports what went wrong, so decoders can read a whole section
+// and check once.
+type BinaryReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewBinaryReader returns a reader over b.
+func NewBinaryReader(b []byte) *BinaryReader { return &BinaryReader{buf: b} }
+
+// Err returns the first read failure, or nil.
+func (r *BinaryReader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *BinaryReader) Len() int { return len(r.buf) - r.off }
+
+// Offset returns the number of bytes consumed so far.
+func (r *BinaryReader) Offset() int { return r.off }
+
+func (r *BinaryReader) fail(n int) {
+	if r.err == nil {
+		r.err = fmt.Errorf("interval: binary payload truncated: need %d bytes at offset %d, have %d", n, r.off, r.Len())
+	}
+}
+
+// Bytes consumes and returns the next n bytes (a subslice, not a copy).
+func (r *BinaryReader) Bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.Len() < n {
+		r.fail(n)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U64 consumes one little-endian uint64.
+func (r *BinaryReader) U64() uint64 {
+	b := r.Bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 consumes one little-endian int64.
+func (r *BinaryReader) I64() int64 { return int64(r.U64()) }

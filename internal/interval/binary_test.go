@@ -1,0 +1,84 @@
+package interval
+
+import (
+	"bufio"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBinaryIntervalsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ivs := make([]Interval, 257)
+	for i := range ivs {
+		s := rng.Int63n(1 << 40)
+		ivs[i] = Interval{ID: rng.Int63(), Start: s, End: s + rng.Int63n(1<<20)}
+	}
+	buf := AppendIntervals(nil, ivs)
+	if len(buf) != len(ivs)*BinaryIntervalSize {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), len(ivs)*BinaryIntervalSize)
+	}
+	got, err := DecodeIntervals(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ivs) {
+		t.Fatalf("decoded %d intervals, want %d", len(got), len(ivs))
+	}
+	for i := range ivs {
+		if got[i] != ivs[i] {
+			t.Fatalf("interval %d: got %v want %v (order must be preserved)", i, got[i], ivs[i])
+		}
+	}
+}
+
+func TestDecodeIntervalsErrors(t *testing.T) {
+	buf := AppendIntervals(nil, []Interval{{ID: 1, Start: 2, End: 9}})
+	if _, err := DecodeIntervals(buf[:len(buf)-1]); err == nil {
+		t.Error("ragged payload accepted")
+	}
+	bad := AppendIntervals(nil, []Interval{{ID: 1, Start: 9, End: 2}})
+	if _, err := DecodeIntervals(bad); err == nil {
+		t.Error("inverted interval accepted")
+	}
+}
+
+func TestBinaryReaderTruncation(t *testing.T) {
+	r := NewBinaryReader(AppendU64(nil, 42))
+	if v := r.U64(); v != 42 || r.Err() != nil {
+		t.Fatalf("U64 = %d, err %v", v, r.Err())
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after draining", r.Len())
+	}
+	if v := r.U64(); v != 0 {
+		t.Fatalf("read past end returned %d", v)
+	}
+	if r.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+	// Sticky: subsequent reads keep failing with the first error.
+	first := r.Err()
+	r.I64()
+	if r.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+// A line longer than the scanner cap must name the file and line, not
+// surface as a bare bufio.ErrTooLong.
+func TestReadTextTooLongLineContext(t *testing.T) {
+	input := "1\t10\t20\n2\t30\t40\n" + strings.Repeat("x", maxLineBytes+1) + "\n"
+	_, err := ReadText(strings.NewReader(input), "conns.tsv")
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("error %v does not wrap bufio.ErrTooLong", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "conns.tsv") || !strings.Contains(msg, "line 3") {
+		t.Fatalf("error %q lacks file/line context", msg)
+	}
+}

@@ -2,11 +2,16 @@ package interval
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
+
+// maxLineBytes caps one input line; a well-formed interval line is tens
+// of bytes, so anything longer is a malformed or hostile input.
+const maxLineBytes = 1024 * 1024
 
 // The text codec mirrors the paper's dataset format: one interval per
 // line, "id<TAB>start<TAB>end". A 5M-interval collection measures about
@@ -29,7 +34,7 @@ func WriteText(w io.Writer, c *Collection) error {
 func ReadText(r io.Reader, name string) (*Collection, error) {
 	c := &Collection{Name: name}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -44,6 +49,11 @@ func ReadText(r io.Reader, name string) (*Collection, error) {
 		c.Items = append(c.Items, iv)
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stops at its 1 MiB line cap without consuming the
+			// line; point at the offending line like other parse errors.
+			return nil, fmt.Errorf("interval: %s line %d: line exceeds %d bytes: %w", name, lineNo+1, maxLineBytes, err)
+		}
 		return nil, fmt.Errorf("interval: reading %s: %w", name, err)
 	}
 	return c, nil

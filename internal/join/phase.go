@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 
 	"tkij/internal/distribute"
 	"tkij/internal/interval"
@@ -15,7 +16,11 @@ import (
 
 // Output is the outcome of the distributed join + merge phases.
 type Output struct {
-	// Results is the final top-k, sorted by descending score.
+	// Results is the final top-k, sorted by descending score. It is
+	// never nil: a run that produces no results (every combination
+	// pruned, or an empty assignment giving the merge job zero inputs)
+	// yields an empty slice, so callers can range/encode it without a
+	// nil check.
 	Results []Result
 	// JoinMetrics covers the join Map-Reduce job. Its ShuffleRecords
 	// counts routed bucket references — the store-backed pipeline never
@@ -46,6 +51,14 @@ type Output struct {
 	// SharedFloor is the final cross-reducer threshold (0 when pruning
 	// was disabled).
 	SharedFloor float64
+	// JoinDuration and MergeDuration are the wall times of the two
+	// Map-Reduce jobs, measured independently around each job. Use these
+	// for phase attribution rather than subtracting the jobs' internal
+	// Metrics.Total values from an outer window — under scheduler
+	// contention an inner Total can exceed the outer measurement and the
+	// subtraction would go negative.
+	JoinDuration  time.Duration
+	MergeDuration time.Duration
 }
 
 // bucketRoute is one map input of the join job: a bucket reference plus
@@ -155,10 +168,12 @@ func Run(q *query.Query, srcs []Source, grans []stats.Granulation,
 			return nil
 		},
 	}
+	joinStart := time.Now()
 	joinOut, joinMetrics, err := mapreduce.Run(joinJob, inputs, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("join: join phase: %w", err)
 	}
+	joinWall := time.Since(joinStart)
 
 	out := &Output{JoinMetrics: joinMetrics, Locals: make([]LocalStats, assign.Reducers)}
 	for _, ro := range joinOut {
@@ -194,13 +209,21 @@ func Run(q *query.Query, srcs []Source, grans []stats.Granulation,
 			return nil
 		},
 	}
+	mergeStart := time.Now()
 	mergeOut, mergeMetrics, err := mapreduce.Run(mergeJob, joinOut, mapreduce.Config{Mappers: cfg.Mappers, Reducers: 1})
 	if err != nil {
 		return nil, fmt.Errorf("join: merge phase: %w", err)
 	}
 	out.MergeMetrics = mergeMetrics
+	out.JoinDuration = joinWall
+	out.MergeDuration = time.Since(mergeStart)
 	if len(mergeOut) == 1 {
 		out.Results = mergeOut[0]
+	}
+	if out.Results == nil {
+		// Zero merge inputs (empty assignment) or an empty merged list:
+		// keep the no-results contract — an empty slice, never nil.
+		out.Results = []Result{}
 	}
 	return out, nil
 }

@@ -1,0 +1,301 @@
+// Package snapshot persists the offline phase of the TKIJ pipeline:
+// the bucket matrices (§3.2 statistics) and the dataset-resident bucket
+// partition serialize to one versioned, checksummed file, and restoring
+// it gives an engine whose first query runs zero statistics work.
+//
+// File layout (all words fixed-width little-endian, 8-byte aligned):
+//
+//	header (48 bytes):
+//	  [0:8)   magic "TKIJSNAP"
+//	  [8:16)  format version (currently 1)
+//	  [16:24) section count
+//	  [24:32) payload length (bytes following the header)
+//	  [32:40) CRC64-ECMA of the payload
+//	  [40:48) reserved (zero)
+//	payload: sections, each
+//	  kind u64 · body length u64 · body (padded to a multiple of 8)
+//
+// Section bodies reuse the per-package binary codecs (internal/interval,
+// internal/stats, internal/store); interval slices inside the store
+// section are contiguous per bucket in an mmap-friendly layout. Loading
+// is all-or-nothing: any structural damage — bad magic, version
+// mismatch, truncation, checksum failure, or a section that fails its
+// package's validation — returns an error and never a partial store.
+package snapshot
+
+import (
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+
+	"tkij/internal/interval"
+	"tkij/internal/stats"
+	"tkij/internal/store"
+)
+
+// Version is the current snapshot format version. Readers reject any
+// other version rather than guessing at a layout.
+const Version = 1
+
+const (
+	headerSize = 48
+	magic      = "TKIJSNAP"
+
+	sectionMatrices = 1
+	sectionStore    = 2
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// appendSection appends one kind-tagged, length-prefixed, 8-padded
+// section.
+func appendSection(dst []byte, kind uint64, body []byte) []byte {
+	dst = interval.AppendU64(dst, kind)
+	dst = interval.AppendU64(dst, uint64(len(body)))
+	dst = append(dst, body...)
+	for len(dst)%8 != 0 {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// checkCoherence verifies that the matrices describe exactly the
+// partitions the store holds: aligned collections, identical
+// granulations, and per-bucket counts matching the resident items. It
+// gates both ends of the codec — Encode, so a save from a stale store
+// (e.g. stats.ApplyUpdate without core.Engine.InvalidateStore) fails
+// fast instead of writing a file only restore can reject, and Decode,
+// so a damaged file never yields a partial store.
+func checkCoherence(st *store.Store, matrices []*stats.Matrix) error {
+	if st.NumCols() != len(matrices) {
+		return fmt.Errorf("snapshot: %d matrices for %d store collections", len(matrices), st.NumCols())
+	}
+	total := 0
+	for i, m := range matrices {
+		if m.Col != i {
+			return fmt.Errorf("snapshot: matrix %d encodes collection %d", i, m.Col)
+		}
+		if m.Gran != st.Col(i).Granulation() {
+			return fmt.Errorf("snapshot: collection %d: matrix granulation %+v != store granulation %+v",
+				i, m.Gran, st.Col(i).Granulation())
+		}
+		colTotal := 0
+		for _, b := range m.Buckets() {
+			n := len(st.Col(i).BucketItems(b.StartG, b.EndG))
+			if n != b.Count {
+				return fmt.Errorf("snapshot: collection %d bucket (%d,%d): matrix counts %d intervals, store holds %d",
+					i, b.StartG, b.EndG, b.Count, n)
+			}
+			colTotal += n
+		}
+		if colTotal != m.Total() {
+			return fmt.Errorf("snapshot: collection %d: store holds %d intervals, matrix total is %d", i, colTotal, m.Total())
+		}
+		total += colTotal
+	}
+	if total != st.Intervals() {
+		return fmt.Errorf("snapshot: store interval count %d != matrices total %d", st.Intervals(), total)
+	}
+	return nil
+}
+
+// Encode serializes the offline phase to a snapshot image. The store
+// and matrices must be aligned per collection (same count, same
+// granulations, matching per-bucket counts) — Encode verifies this so
+// a snapshot is coherent by construction; a store gone stale against
+// its matrices is refused here, not discovered at restore time.
+func Encode(st *store.Store, matrices []*stats.Matrix) ([]byte, error) {
+	if st == nil || len(matrices) == 0 {
+		return nil, fmt.Errorf("snapshot: nothing to encode (store and matrices required)")
+	}
+	for i, m := range matrices {
+		if m == nil {
+			return nil, fmt.Errorf("snapshot: matrix %d is nil", i)
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("snapshot: refusing to encode: %w", err)
+		}
+	}
+	if err := checkCoherence(st, matrices); err != nil {
+		return nil, err
+	}
+	var mbody []byte
+	mbody = interval.AppendU64(mbody, uint64(len(matrices)))
+	for _, m := range matrices {
+		mbody = m.AppendMatrix(mbody)
+	}
+
+	// Build the image in place — header slot first, sections appended
+	// directly, header fields backfilled once the payload is complete.
+	// The store section (the bulk of the file) is written straight into
+	// img with a backfilled length prefix, so the dataset payload is
+	// never staged through a temporary buffer; the capacity hint covers
+	// it too (intervals + bucket directories + per-collection headers),
+	// so appending it doesn't grow-reallocate either.
+	storeHint := st.Intervals()*interval.BinaryIntervalSize +
+		st.Snapshot().Buckets*24 + st.NumCols()*56 + 8
+	img := make([]byte, headerSize, headerSize+len(mbody)+storeHint+48)
+	img = appendSection(img, sectionMatrices, mbody)
+	img = interval.AppendU64(img, sectionStore)
+	lenAt := len(img)
+	img = interval.AppendU64(img, 0) // store body length, backfilled
+	bodyStart := len(img)
+	img = st.AppendStore(img)
+	interval.PutU64(img[lenAt:], uint64(len(img)-bodyStart))
+	for len(img)%8 != 0 { // store bodies are 8-multiples; keep the invariant anyway
+		img = append(img, 0)
+	}
+
+	copy(img[:8], magic)
+	interval.PutU64(img[8:], Version)
+	interval.PutU64(img[16:], 2) // section count
+	interval.PutU64(img[24:], uint64(len(img)-headerSize))
+	interval.PutU64(img[32:], crc64.Checksum(img[headerSize:], crcTable))
+	interval.PutU64(img[40:], 0) // reserved
+	return img, nil
+}
+
+// Decode parses a snapshot image, verifying the header, checksum and
+// every section before returning the restored store and matrices.
+func Decode(img []byte) (*store.Store, []*stats.Matrix, error) {
+	if len(img) < headerSize {
+		return nil, nil, fmt.Errorf("snapshot: %d bytes is shorter than the %d-byte header", len(img), headerSize)
+	}
+	hdr := interval.NewBinaryReader(img[:headerSize])
+	if got := string(hdr.Bytes(8)); got != magic {
+		return nil, nil, fmt.Errorf("snapshot: bad magic %q (not a snapshot file)", got)
+	}
+	if v := hdr.U64(); v != Version {
+		return nil, nil, fmt.Errorf("snapshot: format version %d, this build reads version %d", v, Version)
+	}
+	nSections := hdr.U64()
+	payloadLen := hdr.U64()
+	wantCRC := hdr.U64()
+	payload := img[headerSize:]
+	if uint64(len(payload)) != payloadLen {
+		return nil, nil, fmt.Errorf("snapshot: header declares %d payload bytes, file has %d (truncated?)", payloadLen, len(payload))
+	}
+	if got := crc64.Checksum(payload, crcTable); got != wantCRC {
+		return nil, nil, fmt.Errorf("snapshot: checksum mismatch (want %016x, got %016x): file is corrupted", wantCRC, got)
+	}
+
+	var (
+		matrices []*stats.Matrix
+		st       *store.Store
+	)
+	r := interval.NewBinaryReader(payload)
+	for s := uint64(0); s < nSections; s++ {
+		kind := r.U64()
+		bodyLen := int(r.U64())
+		body := r.Bytes(bodyLen)
+		if pad := (8 - bodyLen%8) % 8; pad > 0 {
+			r.Bytes(pad)
+		}
+		if err := r.Err(); err != nil {
+			return nil, nil, fmt.Errorf("snapshot: section %d: %w", s, err)
+		}
+		br := interval.NewBinaryReader(body)
+		switch kind {
+		case sectionMatrices:
+			n := br.U64()
+			if err := br.Err(); err != nil {
+				return nil, nil, err
+			}
+			// Each encoded matrix is at least 40 bytes (col + granulation
+			// + total); bounding the count by that floor keeps a crafted
+			// section from amplifying its size 8x into pointer slabs.
+			if n == 0 || n > uint64(len(body))/40 {
+				return nil, nil, fmt.Errorf("snapshot: matrices section of %d bytes declares %d matrices", len(body), n)
+			}
+			matrices = make([]*stats.Matrix, n)
+			for i := range matrices {
+				m, err := stats.ReadMatrix(br)
+				if err != nil {
+					return nil, nil, fmt.Errorf("snapshot: matrix %d: %w", i, err)
+				}
+				matrices[i] = m
+			}
+			if br.Len() != 0 {
+				return nil, nil, fmt.Errorf("snapshot: matrices section has %d trailing bytes", br.Len())
+			}
+		case sectionStore:
+			var err error
+			st, err = store.ReadStore(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("snapshot: %w", err)
+			}
+			if br.Len() != 0 {
+				return nil, nil, fmt.Errorf("snapshot: store section has %d trailing bytes", br.Len())
+			}
+		default:
+			// Unknown sections are an error, not skippable: within one
+			// version the section set is fixed, so this is corruption.
+			return nil, nil, fmt.Errorf("snapshot: unknown section kind %d", kind)
+		}
+	}
+	if r.Len() != 0 {
+		return nil, nil, fmt.Errorf("snapshot: payload has %d bytes beyond the declared sections", r.Len())
+	}
+	if matrices == nil || st == nil {
+		return nil, nil, fmt.Errorf("snapshot: incomplete file (matrices present: %t, store present: %t)", matrices != nil, st != nil)
+	}
+
+	// Cross-section coherence: the matrices must describe exactly the
+	// partitions the store holds.
+	if err := checkCoherence(st, matrices); err != nil {
+		return nil, nil, err
+	}
+	return st, matrices, nil
+}
+
+// Save atomically writes a snapshot file: the image is written to a
+// temporary sibling and renamed into place, so a crash mid-write never
+// leaves a truncated snapshot at path.
+func Save(path string, st *store.Store, matrices []*stats.Matrix) error {
+	img, err := Encode(st, matrices)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tkij-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: writing %s: %w", path, err)
+	}
+	// CreateTemp's 0600 would survive the rename and lock out other
+	// accounts; snapshots are shared dataset artifacts, not secrets.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: writing %s: %w", path, err)
+	}
+	// Flush data blocks before the rename so a power loss cannot
+	// persist the directory entry ahead of the contents.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads and decodes a snapshot file.
+func Load(path string) (*store.Store, []*stats.Matrix, error) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	st, ms, err := Decode(img)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return st, ms, nil
+}

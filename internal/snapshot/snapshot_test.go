@@ -1,0 +1,206 @@
+package snapshot
+
+import (
+	"hash/crc64"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tkij/internal/interval"
+	"tkij/internal/mapreduce"
+	"tkij/internal/stats"
+	"tkij/internal/store"
+)
+
+func offlinePhase(t *testing.T, nCols, perCol int, g int, seed int64) (*store.Store, []*stats.Matrix, []*interval.Collection) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]*interval.Collection, nCols)
+	for i := range cols {
+		c := &interval.Collection{Name: "C"}
+		for j := 0; j < perCol; j++ {
+			s := rng.Int63n(4000)
+			c.Add(interval.Interval{ID: int64(i*1000000 + j), Start: s, End: s + rng.Int63n(700)})
+		}
+		cols[i] = c
+	}
+	ms, _, err := stats.Collect(cols, g, mapreduce.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Build(cols, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, ms, cols
+}
+
+// Property-style round trip over several random datasets: the decoded
+// snapshot must preserve matrix cells and totals, bucket contents, and
+// per-bucket item order.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		st, ms, _ := offlinePhase(t, 2+int(seed%2), 200+int(seed)*37, 4+int(seed), seed)
+		img, err := Encode(st, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotStore, gotMs, err := Decode(img)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(gotMs) != len(ms) || gotStore.NumCols() != st.NumCols() || gotStore.Intervals() != st.Intervals() {
+			t.Fatalf("seed %d: decoded shape mismatch", seed)
+		}
+		for i, m := range ms {
+			gm := gotMs[i]
+			if gm.Col != m.Col || gm.Gran != m.Gran || gm.Total() != m.Total() {
+				t.Fatalf("seed %d: matrix %d header mismatch", seed, i)
+			}
+			for l := range m.Counts {
+				for lp := range m.Counts[l] {
+					if gm.Counts[l][lp] != m.Counts[l][lp] {
+						t.Fatalf("seed %d: matrix %d cell [%d][%d] mismatch", seed, i, l, lp)
+					}
+				}
+			}
+			for _, b := range m.Buckets() {
+				want := st.Col(i).BucketItems(b.StartG, b.EndG)
+				got := gotStore.Col(i).BucketItems(b.StartG, b.EndG)
+				if len(want) != len(got) {
+					t.Fatalf("seed %d: col %d bucket (%d,%d) size mismatch", seed, i, b.StartG, b.EndG)
+				}
+				for j := range want {
+					if want[j] != got[j] {
+						t.Fatalf("seed %d: col %d bucket (%d,%d) item %d reordered", seed, i, b.StartG, b.EndG, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	st, ms, _ := offlinePhase(t, 3, 300, 6, 42)
+	path := filepath.Join(t.TempDir(), "stats.tkij")
+	if err := Save(path, st, ms); err != nil {
+		t.Fatal(err)
+	}
+	gotStore, gotMs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStore.Intervals() != st.Intervals() || len(gotMs) != len(ms) {
+		t.Fatal("file round trip lost data")
+	}
+	// Snapshots are shared dataset artifacts: the temp file's private
+	// mode must not survive the rename.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("snapshot file mode %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+// Structural damage must fail loudly — never a partial store.
+func TestSnapshotRejectsDamage(t *testing.T) {
+	st, ms, _ := offlinePhase(t, 2, 250, 5, 77)
+	img, err := Encode(st, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("short-header", func(t *testing.T) {
+		if _, _, err := Decode(img[:headerSize-1]); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		bad[0] ^= 0xff
+		if _, _, err := Decode(bad); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("version-mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		copy(bad[8:16], interval.AppendU64(nil, Version+1))
+		if _, _, err := Decode(bad); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("truncated-payload", func(t *testing.T) {
+		for _, cut := range []int{headerSize, headerSize + 8, len(img) / 2, len(img) - 1} {
+			if _, _, err := Decode(img[:cut]); err == nil {
+				t.Fatalf("truncation to %d bytes accepted", cut)
+			}
+		}
+	})
+	t.Run("flipped-payload-bit", func(t *testing.T) {
+		// Every corruption position must trip the checksum (or a deeper
+		// validation), wherever it lands.
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 20; i++ {
+			bad := append([]byte(nil), img...)
+			pos := headerSize + rng.Intn(len(img)-headerSize)
+			bad[pos] ^= 1 << uint(rng.Intn(8))
+			if _, _, err := Decode(bad); err == nil {
+				t.Fatalf("bit flip at byte %d accepted", pos)
+			}
+		}
+	})
+	t.Run("trailing-payload-bytes", func(t *testing.T) {
+		// Extra bytes after the declared sections, with header and CRC
+		// recomputed to cover them: still all-or-nothing, never ignored.
+		bad := append(append([]byte(nil), img...), make([]byte, 16)...)
+		payload := bad[headerSize:]
+		copy(bad[24:32], interval.AppendU64(nil, uint64(len(payload))))
+		copy(bad[32:40], interval.AppendU64(nil, crc64.Checksum(payload, crcTable)))
+		if _, _, err := Decode(bad); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("load-missing-file", func(t *testing.T) {
+		if _, _, err := Load(filepath.Join(t.TempDir(), "absent.tkij")); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+}
+
+// A store gone stale against its matrices (stats.ApplyUpdate without
+// rebuilding the partition) must be refused at save time — not
+// persisted into a file only restore can reject.
+func TestEncodeRefusesStaleStore(t *testing.T) {
+	st, ms, _ := offlinePhase(t, 2, 150, 5, 3)
+	if err := stats.ApplyUpdate(ms[0], []interval.Interval{{ID: 999, Start: 100, End: 200}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Encode(st, ms); err == nil {
+		t.Fatal("encoded a snapshot whose store no longer matches its matrices")
+	}
+}
+
+// Save must be atomic: a pre-existing file at the target path survives
+// an encode failure, and a successful save replaces it completely.
+func TestSaveReplacesAtomically(t *testing.T) {
+	st, ms, _ := offlinePhase(t, 2, 100, 4, 5)
+	path := filepath.Join(t.TempDir(), "stats.tkij")
+	if err := os.WriteFile(path, []byte("old junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, st, ms); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err != nil {
+		t.Fatalf("replaced file does not load: %v", err)
+	}
+	if err := Save(path, nil, nil); err == nil {
+		t.Fatal("empty save accepted")
+	}
+	if _, _, err := Load(path); err != nil {
+		t.Fatalf("failed save clobbered the previous snapshot: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+
+	"tkij/internal/interval"
+)
+
+// Binary codec for granulations and bucket matrices — the statistics
+// half of a snapshot. Layout is fixed-width little-endian int64 words
+// (see internal/interval's binary codec), so every field stays 8-byte
+// aligned inside the snapshot file.
+
+// AppendGranulation appends gr as three int64 words (Min, Max, G).
+func AppendGranulation(dst []byte, gr Granulation) []byte {
+	dst = interval.AppendI64(dst, gr.Min)
+	dst = interval.AppendI64(dst, gr.Max)
+	dst = interval.AppendI64(dst, int64(gr.G))
+	return dst
+}
+
+// ReadGranulation consumes one encoded granulation, re-validating it
+// through NewGranulation so an inverted range or non-positive G from a
+// corrupted snapshot fails loudly.
+func ReadGranulation(r *interval.BinaryReader) (Granulation, error) {
+	min, max, g := r.I64(), r.I64(), r.I64()
+	if err := r.Err(); err != nil {
+		return Granulation{}, err
+	}
+	return NewGranulation(min, max, int(g))
+}
+
+// AppendMatrix appends m: collection index, granulation, total, then the
+// G×G counts row-major.
+func (m *Matrix) AppendMatrix(dst []byte) []byte {
+	dst = interval.AppendI64(dst, int64(m.Col))
+	dst = AppendGranulation(dst, m.Gran)
+	dst = interval.AppendI64(dst, int64(m.total))
+	for _, row := range m.Counts {
+		for _, c := range row {
+			dst = interval.AppendI64(dst, int64(c))
+		}
+	}
+	return dst
+}
+
+// ReadMatrix consumes one encoded matrix and validates it (cell sum
+// matching the recorded total, no negative or impossible cells), so a
+// truncated or bit-flipped snapshot never yields a usable-looking
+// matrix.
+func ReadMatrix(r *interval.BinaryReader) (*Matrix, error) {
+	col := r.I64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if col < 0 {
+		return nil, fmt.Errorf("stats: decoding matrix: negative collection index %d", col)
+	}
+	gran, err := ReadGranulation(r)
+	if err != nil {
+		return nil, fmt.Errorf("stats: decoding matrix B%d: %w", col, err)
+	}
+	// Bound the G×G allocation before NewMatrix: a crafted granulation
+	// must fail loudly, not OOM the process. The flat cap keeps the
+	// uint64 product below overflow (the paper's g is in the tens;
+	// 2^16 granules is already far past any real configuration), and
+	// the payload bound requires the bytes (8 per cell) to actually be
+	// present.
+	const maxGranules = 1 << 16
+	if gran.G > maxGranules || uint64(gran.G)*uint64(gran.G) > uint64(r.Len())/8 {
+		return nil, fmt.Errorf("stats: matrix B%d declares g=%d but only %d payload bytes remain",
+			col, gran.G, r.Len())
+	}
+	m := NewMatrix(int(col), gran)
+	m.total = int(r.I64())
+	for l := range m.Counts {
+		for lp := range m.Counts[l] {
+			m.Counts[l][lp] = int(r.I64())
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("stats: decoding matrix B%d: %w", col, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("stats: decoded matrix failed validation: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"tkij/internal/interval"
+)
+
+func randMatrix(t *testing.T, col int, seed int64) *Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	gr, err := NewGranulation(0, 10000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatrix(col, gr)
+	for i := 0; i < 500; i++ {
+		s := rng.Int63n(10000)
+		m.Add(interval.Interval{ID: int64(i), Start: s, End: s + rng.Int63n(2000)})
+	}
+	return m
+}
+
+func TestMatrixCodecRoundTrip(t *testing.T) {
+	m := randMatrix(t, 2, 11)
+	buf := m.AppendMatrix(nil)
+	r := interval.NewBinaryReader(buf)
+	got, err := ReadMatrix(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left over", r.Len())
+	}
+	if got.Col != m.Col || got.Gran != m.Gran || got.Total() != m.Total() {
+		t.Fatalf("decoded header = (%d, %+v, %d), want (%d, %+v, %d)",
+			got.Col, got.Gran, got.Total(), m.Col, m.Gran, m.Total())
+	}
+	for l := range m.Counts {
+		for lp := range m.Counts[l] {
+			if got.Counts[l][lp] != m.Counts[l][lp] {
+				t.Fatalf("cell [%d][%d] = %d, want %d", l, lp, got.Counts[l][lp], m.Counts[l][lp])
+			}
+		}
+	}
+}
+
+func TestMatrixCodecRejectsCorruption(t *testing.T) {
+	m := randMatrix(t, 0, 13)
+	buf := m.AppendMatrix(nil)
+
+	// Truncation at every 8-byte boundary must fail, never half-decode.
+	for cut := 0; cut < len(buf); cut += 8 {
+		if _, err := ReadMatrix(interval.NewBinaryReader(buf[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+
+	// A flipped count breaks the recorded total, which Validate catches.
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := ReadMatrix(interval.NewBinaryReader(bad)); err == nil {
+		t.Fatal("bit-flipped counts accepted")
+	}
+
+	// An inverted granulation fails NewGranulation on load.
+	inv := m.AppendMatrix(nil)
+	copy(inv[8:16], interval.AppendI64(nil, 99999))
+	if _, err := ReadMatrix(interval.NewBinaryReader(inv)); err == nil {
+		t.Fatal("inverted granulation accepted")
+	}
+
+	// A crafted G far beyond the payload must be rejected before the
+	// G×G allocation, not OOM the process (G here would ask for ~8 TiB).
+	huge := m.AppendMatrix(nil)
+	copy(huge[24:32], interval.AppendI64(nil, 1<<20))
+	if _, err := ReadMatrix(interval.NewBinaryReader(huge)); err == nil {
+		t.Fatal("absurd granule count accepted")
+	}
+	overflow := m.AppendMatrix(nil)
+	copy(overflow[24:32], interval.AppendI64(nil, 1<<32))
+	if _, err := ReadMatrix(interval.NewBinaryReader(overflow)); err == nil {
+		t.Fatal("int-overflowing granule count accepted")
+	}
+}
+
+func TestGranulationCodecRoundTrip(t *testing.T) {
+	gr, err := NewGranulation(-500, 12345, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := interval.NewBinaryReader(AppendGranulation(nil, gr))
+	got, err := ReadGranulation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != gr {
+		t.Fatalf("round trip changed granulation: %+v -> %+v", gr, got)
+	}
+}

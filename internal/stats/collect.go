@@ -97,6 +97,15 @@ func Collect(cols []*interval.Collection, g int, cfg mapreduce.Config) ([]*Matri
 // ApplyUpdate folds inserted and deleted intervals into an existing
 // matrix, the paper's incremental-maintenance path. The granulation is
 // kept fixed; out-of-range endpoints clamp to the boundary granules.
+//
+// Contract: ApplyUpdate mutates m in place and only maintains the
+// counts — anything built *from* the matrix beforehand still reflects
+// the pre-update data. In particular, an engine's dataset-resident
+// bucket store partitions a point-in-time copy of the collections, so
+// after updating the collections and calling ApplyUpdate the caller
+// must invalidate the derived store (core.Engine.InvalidateStore) or
+// prepared engines silently keep serving stale buckets. Do not call it
+// while queries over the same matrix are in flight.
 func ApplyUpdate(m *Matrix, inserted, deleted []interval.Interval) error {
 	for _, iv := range inserted {
 		if !iv.Valid() {

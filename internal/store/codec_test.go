@@ -1,0 +1,127 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"tkij/internal/interval"
+	"tkij/internal/mapreduce"
+	"tkij/internal/rtree"
+	"tkij/internal/stats"
+)
+
+func codecStore(t *testing.T, nCols, perCol int, seed int64) (*Store, []*stats.Matrix, []*interval.Collection) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]*interval.Collection, nCols)
+	for i := range cols {
+		c := &interval.Collection{Name: "C"}
+		for j := 0; j < perCol; j++ {
+			s := rng.Int63n(5000)
+			c.Add(interval.Interval{ID: int64(i*100000 + j), Start: s, End: s + rng.Int63n(800)})
+		}
+		cols[i] = c
+	}
+	ms, _, err := stats.Collect(cols, 6, mapreduce.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(cols, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, ms, cols
+}
+
+func TestStoreCodecRoundTrip(t *testing.T) {
+	st, ms, _ := codecStore(t, 3, 400, 3)
+	buf := st.AppendStore(nil)
+	r := interval.NewBinaryReader(buf)
+	got, err := ReadStore(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left over", r.Len())
+	}
+	if got.NumCols() != st.NumCols() || got.Intervals() != st.Intervals() {
+		t.Fatalf("decoded store shape (%d cols, %d intervals), want (%d, %d)",
+			got.NumCols(), got.Intervals(), st.NumCols(), st.Intervals())
+	}
+	for i := 0; i < st.NumCols(); i++ {
+		want, have := st.Col(i), got.Col(i)
+		if have.Granulation() != want.Granulation() || have.NumBuckets() != want.NumBuckets() {
+			t.Fatalf("col %d: decoded (%+v, %d buckets), want (%+v, %d)",
+				i, have.Granulation(), have.NumBuckets(), want.Granulation(), want.NumBuckets())
+		}
+		for _, b := range ms[i].Buckets() {
+			wi := want.BucketItems(b.StartG, b.EndG)
+			hi := have.BucketItems(b.StartG, b.EndG)
+			if len(wi) != len(hi) {
+				t.Fatalf("col %d bucket (%d,%d): %d items decoded, want %d", i, b.StartG, b.EndG, len(hi), len(wi))
+			}
+			for j := range wi {
+				if wi[j] != hi[j] {
+					t.Fatalf("col %d bucket (%d,%d) item %d: %v != %v — item order must be preserved for R-tree Ref stability",
+						i, b.StartG, b.EndG, j, hi[j], wi[j])
+				}
+			}
+		}
+	}
+}
+
+// The restored partition must serve the same R-tree point/Ref layout:
+// every tree Ref resolves to the identical interval.
+func TestStoreCodecRefStability(t *testing.T) {
+	st, ms, _ := codecStore(t, 1, 600, 9)
+	r := interval.NewBinaryReader(st.AppendStore(nil))
+	got, err := ReadStore(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, rs := st.Col(0), got.Col(0)
+	for _, b := range ms[0].Buckets() {
+		wantItems := cs.BucketItems(b.StartG, b.EndG)
+		tree := rs.BucketTree(b.StartG, b.EndG)
+		if tree == nil {
+			t.Fatalf("bucket (%d,%d): no tree after restore", b.StartG, b.EndG)
+		}
+		gotItems := rs.BucketItems(b.StartG, b.EndG)
+		n := 0
+		tree.Search(rtree.Everything(), func(pt rtree.Point) bool {
+			iv := gotItems[pt.Ref]
+			if iv != wantItems[pt.Ref] {
+				t.Fatalf("bucket (%d,%d) ref %d resolves to %v, want %v", b.StartG, b.EndG, pt.Ref, iv, wantItems[pt.Ref])
+			}
+			n++
+			return true
+		})
+		if n != len(wantItems) {
+			t.Fatalf("bucket (%d,%d): tree indexes %d points, want %d", b.StartG, b.EndG, n, len(wantItems))
+		}
+	}
+	// Restored buckets memoize from scratch: one build per probed bucket.
+	if snap := got.Snapshot(); snap.TreesBuilt != int64(len(ms[0].Buckets())) {
+		t.Fatalf("restored store built %d trees for %d buckets", snap.TreesBuilt, len(ms[0].Buckets()))
+	}
+}
+
+func TestStoreCodecRejectsCorruption(t *testing.T) {
+	st, _, _ := codecStore(t, 2, 300, 5)
+	buf := st.AppendStore(nil)
+
+	for _, cut := range []int{0, 8, len(buf) / 3, len(buf) - 8} {
+		if _, err := ReadStore(interval.NewBinaryReader(buf[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+
+	// Corrupt the last interval's Start (its most significant byte sits
+	// 9 bytes from the end of the payload): Start > End must be caught
+	// by the payload validation, never served.
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)-9] = 0x7f
+	if _, err := ReadStore(interval.NewBinaryReader(bad)); err == nil {
+		t.Fatal("corrupted interval payload accepted")
+	}
+}
