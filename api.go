@@ -58,6 +58,7 @@ import (
 	"tkij/internal/join"
 	"tkij/internal/query"
 	"tkij/internal/scoring"
+	"tkij/internal/snapshot"
 	"tkij/internal/topbuckets"
 )
 
@@ -228,6 +229,16 @@ func NewEngine(cols []*Collection, opts Options) (*Engine, error) {
 // snapshot was built from.
 func OpenEngine(cols []*Collection, snapshotPath string, opts Options) (*Engine, error) {
 	return core.OpenEngine(cols, snapshotPath, opts)
+}
+
+// AppendSnapshotDelta extends a snapshot file with one ingest batch as
+// an appended delta section: the base sections are left untouched (no
+// format break, no rewrite of the dataset payload) and restoring the
+// file replays the batch exactly as Engine.Append applied it live.
+// Call it with the same (collection, intervals) batch handed to
+// Engine.Append; it returns the epoch recorded in the file.
+func AppendSnapshotDelta(path string, col int, ivs []Interval) (int64, error) {
+	return snapshot.AppendDelta(path, col, ivs)
 }
 
 // Exhaustive computes the exact top-k by in-memory enumeration — the

@@ -11,6 +11,7 @@ import (
 
 	"tkij/internal/experiments"
 	"tkij/internal/interval"
+	"tkij/internal/join"
 	"tkij/internal/scoring"
 	"tkij/internal/solver"
 )
@@ -210,6 +211,100 @@ func BenchmarkSolverPairBounds(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		solver.PredicateBounds(pred, x, y, solver.Options{MaxNodes: 512, Eps: 1e-3})
+	}
+}
+
+// BenchmarkIngest wraps the streaming-ingest experiment (append
+// latency, delta-tree accounting, queries under concurrent ingest).
+func BenchmarkIngest(b *testing.B) {
+	runExperiment(b, experiments.Ingest)
+}
+
+// BenchmarkAppendThenQuery measures the streaming serving loop — one
+// append batch, one query on the new epoch — and proves the append
+// economics on the counters: sealed (base) R-trees are rebuilt only for
+// compacted buckets (sealed-rebuilds/op ~ compactions/op), touched
+// buckets gain one small delta tree each, and everything else is
+// reused. A cold rebuild on the final data must agree with the last
+// warm answer.
+func BenchmarkAppendThenQuery(b *testing.B) {
+	cols := []*interval.Collection{
+		Uniform("C1", 10000, 11), Uniform("C2", 10000, 12), Uniform("C3", 10000, 13),
+	}
+	engine, err := NewEngine(cols, Options{Granules: 20, K: 50, Reducers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := QueryByName("Qo,m", QueryEnv{Params: P1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // cold + warm: memoize the query's trees
+		if _, err := engine.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const batchSize = 32
+	id := int64(50_000_000)
+	var sealedRebuilds, deltaTrees, compactions, reused int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := make([]Interval, batchSize)
+		for j := range batch {
+			s := (int64(i)*7919 + int64(j)*104729) % 100000
+			batch[j] = Interval{ID: id, Start: s, End: s + 1 + s%100}
+			id++
+		}
+		before := engine.Store().Snapshot()
+		if _, err := engine.Append(i%len(cols), batch); err != nil {
+			b.Fatal(err)
+		}
+		report, err := engine.Execute(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		after := engine.Store().Snapshot()
+		sealedRebuilds += after.TreesBuilt - before.TreesBuilt
+		deltaTrees += after.DeltaTreesBuilt - before.DeltaTreesBuilt
+		compactions += after.Compactions - before.Compactions
+		reused += report.TreesReused
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(float64(sealedRebuilds)/n, "sealed-rebuilds/op")
+	b.ReportMetric(float64(deltaTrees)/n, "delta-trees/op")
+	b.ReportMetric(float64(compactions)/n, "compactions/op")
+	b.ReportMetric(float64(reused)/n, "trees-reused/op")
+	// The invariant behind the metrics: appends never wholesale-invalidate
+	// memoized trees, so re-running the query right after the loop builds
+	// nothing (sealed builds during the loop are compaction reseals or
+	// first-time lazy builds of newly selected buckets, both one-off).
+	if _, err := engine.Execute(q); err != nil {
+		b.Fatal(err)
+	}
+	again, err := engine.Execute(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if again.TreesBuilt != 0 || again.DeltaTreesBuilt != 0 {
+		b.Fatalf("post-append re-run built %d sealed + %d delta trees; memoization did not survive the appends",
+			again.TreesBuilt, again.DeltaTreesBuilt)
+	}
+	// Post-append answers must equal a cold rebuild over the same data.
+	cold, err := NewEngine(cols, engine.Options())
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := cold.Execute(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := engine.Execute(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !join.ScoreMultisetEqual(got.Results, want.Results, 1e-9) {
+		b.Fatal("post-append results diverged from a cold rebuild")
 	}
 }
 

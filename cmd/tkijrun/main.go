@@ -18,6 +18,15 @@
 //	tkijrun -query Qb,b -json C1.tsv C2.tsv C3.tsv          # machine-readable report
 //	tkijrun -query Qb,b -save-stats s.tkij C1.tsv C2.tsv C3.tsv  # persist the offline phase
 //	tkijrun -query Qb,b -load-stats s.tkij C1.tsv C2.tsv C3.tsv  # restart without re-computing it
+//
+// Streaming ingest: -append streams a batch file into a collection
+// through the epoch-delta path (no statistics job, no store rebuild;
+// in-flight queries keep their pinned epoch), and -append-delta
+// additionally records the batch as an appended delta section on the
+// snapshot file, so a later -load-stats (with collection files that
+// include the batch) restores base + deltas:
+//
+//	tkijrun -query Qo,m -load-stats s.tkij -append extra.tsv -append-delta C1.tsv C2.tsv C3.tsv
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 // jsonRun is the machine-readable report of one execution.
 type jsonRun struct {
 	Run                 int     `json:"run"`
+	Epoch               int64   `json:"epoch"`
 	JoinMillis          float64 `json:"join_ms"`
 	TotalMillis         float64 `json:"total_ms"`
 	TreesBuilt          int64   `json:"trees_built"`
@@ -52,7 +62,11 @@ type jsonReport struct {
 	PrepMillis float64 `json:"prep_ms"`
 	// Restored reports whether the offline phase came from a snapshot
 	// (-load-stats) instead of being computed.
-	Restored    bool         `json:"restored"`
+	Restored bool `json:"restored"`
+	// Appended is the number of intervals streamed in via -append;
+	// Epoch is the store epoch after those appends.
+	Appended    int          `json:"appended"`
+	Epoch       int64        `json:"epoch"`
 	Runs        []jsonRun    `json:"runs"`
 	Results     []jsonResult `json:"results"`
 	NumReducers int          `json:"reducers"`
@@ -80,6 +94,9 @@ func main() {
 		repeat    = flag.Int("repeat", 1, "execute the query N times on the warm engine")
 		saveStats = flag.String("save-stats", "", "after the offline phase, persist matrices + bucket store to this snapshot file")
 		loadStats = flag.String("load-stats", "", "restore the offline phase from a snapshot file instead of computing it")
+		appendSrc = flag.String("append", "", "stream this batch file's intervals into the engine (epoch-delta ingest) before querying")
+		appendCol = flag.Int("append-col", 0, "collection index the -append batch streams into")
+		appendDlt = flag.Bool("append-delta", false, "also record the -append batch as a delta section on the snapshot file (-load-stats or -save-stats path)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 		verbose   = flag.Bool("v", false, "print phase metrics")
 		top       = flag.Int("print", 10, "number of results to print")
@@ -160,8 +177,43 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "tkijrun: offline phase saved to %s\n", *saveStats)
 	}
+
+	appended := 0
+	if *appendSrc != "" {
+		f, err := os.Open(*appendSrc)
+		if err != nil {
+			fatal(err)
+		}
+		batch, err := tkij.ReadCollection(f, *appendSrc)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		epoch, err := engine.Append(*appendCol, batch.Items)
+		if err != nil {
+			fatal(err)
+		}
+		appended = batch.Len()
+		fmt.Fprintf(os.Stderr, "tkijrun: streamed %d intervals into collection %d (epoch %d)\n",
+			appended, *appendCol, epoch)
+		if *appendDlt {
+			path := *loadStats
+			if path == "" {
+				path = *saveStats
+			}
+			if path == "" {
+				fatal(fmt.Errorf("-append-delta needs a snapshot path (-load-stats or -save-stats)"))
+			}
+			fileEpoch, err := tkij.AppendSnapshotDelta(path, *appendCol, batch.Items)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tkijrun: delta section (epoch %d) appended to %s\n", fileEpoch, path)
+		}
+	}
 	jr := jsonReport{Query: q.Name, K: *k, NumReducers: *reducers,
-		PrepMillis: millis(engine.StatsDuration), Restored: engine.Restored()}
+		PrepMillis: millis(engine.StatsDuration), Restored: engine.Restored(),
+		Appended: appended, Epoch: engine.Epoch()}
 
 	var report *tkij.Report
 	for run := 0; run < *repeat; run++ {
@@ -171,6 +223,7 @@ func main() {
 		}
 		jr.Runs = append(jr.Runs, jsonRun{
 			Run:                 run,
+			Epoch:               report.Epoch,
 			JoinMillis:          millis(report.JoinTime),
 			TotalMillis:         millis(report.Total),
 			TreesBuilt:          report.TreesBuilt,

@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/query"
+)
+
+// Naive computes the exact top-k of a scored RTJ query by plain
+// nested-loop enumeration of the full cross product, scoring every
+// tuple. It shares no code with the TKIJ pipeline's pruning, indexing,
+// distribution or store layers — no granulation, no bucket bounds, no
+// R-trees, no threshold — which is what makes it the equivalence
+// oracle the randomized test harness checks the engine against: any
+// unsound bound, broken probe box or stale epoch view in the pipeline
+// shows up as a divergence from this baseline. Exponential in the
+// number of vertices; use at test scale only.
+//
+// cols[i] is the collection query vertex i reads (repeat a collection
+// for self-joins). Results are sorted by descending score; ties are
+// broken by tuple IDs for determinism.
+func Naive(q *query.Query, cols []*interval.Collection, k int) ([]join.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cols) != q.NumVertices {
+		return nil, fmt.Errorf("baselines: %d collections for %d query vertices", len(cols), q.NumVertices)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baselines: k must be >= 1, got %d", k)
+	}
+	var (
+		results []join.Result
+		tuple   = make([]interval.Interval, q.NumVertices)
+	)
+	// Keep the candidate list bounded: once it holds 4k results, sort
+	// and truncate to k so the worst retained score becomes a floor.
+	floor := -1.0
+	prune := func() {
+		sortResults(results)
+		if len(results) > k {
+			results = results[:k:k]
+			floor = results[k-1].Score
+		}
+	}
+	var rec func(v int)
+	rec = func(v int) {
+		if v == q.NumVertices {
+			score := q.Score(tuple)
+			if score > floor || len(results) < k {
+				results = append(results, join.Result{
+					Tuple: append([]interval.Interval(nil), tuple...),
+					Score: score,
+				})
+				if len(results) >= 4*k {
+					prune()
+				}
+			}
+			return
+		}
+		for _, iv := range cols[v].Items {
+			tuple[v] = iv
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	prune()
+	return results, nil
+}
+
+func sortResults(rs []join.Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return tupleLess(rs[i].Tuple, rs[j].Tuple)
+	})
+}

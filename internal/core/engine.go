@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -46,6 +47,9 @@ type Options struct {
 	TopBuckets topbuckets.Options
 	// Local carries the per-reducer join ablation switches.
 	Local join.LocalOptions
+	// CompactLimit is the store's per-bucket delta compaction threshold
+	// for streaming appends (0 = store.DefaultCompactLimit).
+	CompactLimit int
 }
 
 func (o Options) withDefaults() Options {
@@ -141,9 +145,22 @@ func OpenEngine(cols []*interval.Collection, snapshotPath string, opts Options) 
 			return nil, fmt.Errorf("core: snapshot %s collection %d has %d intervals, dataset has %d — snapshot is for a different dataset",
 				snapshotPath, i, m.Total(), cols[i].Len())
 		}
+		// The snapshot does not persist endpoint extents; re-derive them
+		// from the live collections so bounds over the boundary granules
+		// stay sound when the snapshot holds clamped (out-of-range)
+		// appends.
+		cs := cols[i].ComputeStats()
+		m.Widen(cs.MinStart, cs.MaxEnd)
 	}
 	e.matrices = ms
 	e.store = st
+	// Delta sections were replayed inside snapshot.Load under the
+	// store's default compaction threshold; the engine's limit governs
+	// appends from here on. Bucket sealing structure may therefore
+	// differ from the live engine that wrote the deltas under a custom
+	// CompactLimit — answers are identical either way, sealing only
+	// decides which probes pay a lazy rebuild.
+	st.SetCompactLimit(e.opts.CompactLimit)
 	e.restored = true
 	// The snapshot's granulation is what the persisted partition was
 	// built under; reflect it in the engine's options so Options()
@@ -155,15 +172,22 @@ func OpenEngine(cols []*interval.Collection, snapshotPath string, opts Options) 
 
 // SaveSnapshot persists the offline phase (matrices + bucket
 // partition) to path as one versioned, checksummed snapshot file,
-// preparing the engine first if needed. OpenEngine restores it.
+// preparing the engine first if needed. OpenEngine restores it. Any
+// bucket deltas accumulated by Append are folded into the image (the
+// restored store starts fully sealed at epoch 0); the encode runs under
+// the engine lock so a concurrent Append cannot tear the image, and
+// snapshot.AppendDelta can extend the file later without rewriting it.
 func (e *Engine) SaveSnapshot(path string) error {
 	if err := e.PrepareStats(); err != nil {
 		return err
 	}
 	e.mu.Lock()
-	ms, st := e.matrices, e.store
+	img, err := snapshot.Encode(e.store, e.matrices)
 	e.mu.Unlock()
-	return snapshot.Save(path, st, ms)
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteImage(path, img)
 }
 
 // Restored reports whether this engine was opened from a snapshot
@@ -220,6 +244,7 @@ func (e *Engine) prepareLocked() error {
 	if err != nil {
 		return err
 	}
+	st.SetCompactLimit(e.opts.CompactLimit)
 	e.store = st
 	e.StoreBuildDuration += time.Since(buildStart)
 	e.StatsDuration += time.Since(start)
@@ -228,31 +253,100 @@ func (e *Engine) prepareLocked() error {
 
 // InvalidateStore discards the resident bucket partition (and its
 // memoized R-trees) so the next Execute or PrepareStats rebuilds it
-// from the engine's collections and current matrices. Call it after
-// mutating the collections and folding the change into the matrices
-// with stats.ApplyUpdate — the store is built from a point-in-time copy
-// of the data, so without invalidation a prepared engine keeps serving
-// the pre-update buckets. The matrices themselves are kept: the rebuild
-// runs zero statistics-job work.
+// from the engine's collections and current matrices. It is the
+// full-rebuild escape hatch for mutations the epoch-delta append path
+// cannot express — use Append for insertions; use ApplyUpdate +
+// InvalidateStore after deletions or in-place edits, where the resident
+// buckets still hold the removed intervals and only a rebuild can drop
+// them. The matrices themselves are kept: the rebuild runs zero
+// statistics-job work. The rebuild also resets the ingest epoch
+// coherently: the fresh store seals everything as epoch 0, so a
+// subsequent Append starts the delta layer from scratch and
+// Report.Epoch restarts from zero.
 //
 // Do not call it concurrently with in-flight Execute calls on data that
 // changed underneath them: quiesce queries, apply the update, then
-// invalidate.
+// invalidate. (Append needs no such quiescing — in-flight queries keep
+// their pinned epoch.)
 func (e *Engine) InvalidateStore() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.store = nil
 }
 
-// prepared returns the matrices and store, running the offline phase
-// first if needed.
-func (e *Engine) prepared() ([]*stats.Matrix, *store.Store, error) {
+// Append routes a batch of new intervals for collection col through the
+// streaming-ingest path and returns the store epoch at which the batch
+// became visible: the collection grows, the collection's bucket matrix
+// is maintained incrementally (stats.ApplyUpdate semantics — endpoints
+// outside the original granulation clamp to the boundary granules, the
+// granulation itself is kept fixed), and the bucket store publishes a
+// new epoch whose untouched buckets keep their memoized R-trees. No
+// statistics job runs and no store rebuild happens.
+//
+// It is safe to call concurrently with Execute: in-flight queries pin
+// their epoch at admission and never observe a partial batch. Appends
+// themselves serialize. On an engine whose offline phase has not run
+// yet, the batch simply extends the collection (epoch 0) and is picked
+// up by the first preparation.
+func (e *Engine) Append(col int, ivs []interval.Interval) (int64, error) {
+	if col < 0 || col >= len(e.cols) {
+		return 0, fmt.Errorf("core: append to collection %d of %d", col, len(e.cols))
+	}
+	for _, iv := range ivs {
+		if !iv.Valid() {
+			return 0, fmt.Errorf("core: appending invalid interval %v", iv)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(ivs) == 0 {
+		if e.store != nil {
+			return e.store.Epoch(), nil
+		}
+		return 0, nil
+	}
+	e.cols[col].Items = append(e.cols[col].Items, ivs...)
+	if e.matrices != nil {
+		// Copy-on-write: queries in flight captured the old matrices
+		// slice and must keep reading the pre-append counts their pinned
+		// store epoch corresponds to.
+		m := e.matrices[col].Clone()
+		if err := stats.ApplyUpdate(m, ivs, nil); err != nil {
+			return 0, err
+		}
+		ms := slices.Clone(e.matrices)
+		ms[col] = m
+		e.matrices = ms
+	}
+	if e.store == nil {
+		return 0, nil
+	}
+	return e.store.Append(col, ivs)
+}
+
+// Epoch returns the store's current ingest epoch: 0 until the first
+// Append after preparation (or after an InvalidateStore rebuild), +1
+// per applied batch.
+func (e *Engine) Epoch() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.store == nil {
+		return 0
+	}
+	return e.store.Epoch()
+}
+
+// prepared returns the matrices, the store, and a view of the store
+// pinned at the current epoch, running the offline phase first if
+// needed. Matrices and view are captured under one critical section, so
+// they describe the same epoch even while Append calls land.
+func (e *Engine) prepared() ([]*stats.Matrix, *store.Store, *store.View, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.prepareLocked(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return e.matrices, e.store, nil
+	return e.matrices, e.store, e.store.View(), nil
 }
 
 // Matrices exposes the collected bucket matrices (after PrepareStats).
@@ -285,8 +379,16 @@ type Report struct {
 	// to this execution (store counter deltas; under concurrent Execute
 	// calls activity is attributed to whichever query observed it).
 	// A warm engine re-running a query reports TreesBuilt == 0.
-	TreesBuilt  int64
-	TreesReused int64
+	// TreesBuilt counts sealed-tree builds only; small delta trees over
+	// freshly appended intervals are counted in DeltaTreesBuilt.
+	TreesBuilt      int64
+	TreesReused     int64
+	DeltaTreesBuilt int64
+
+	// Epoch is the store epoch the query was pinned at on admission:
+	// exactly the append batches with epoch <= Epoch were visible, no
+	// matter how many landed while the query ran.
+	Epoch int64
 
 	// Phase durations (query-time only; the offline statistics phase is
 	// reported on the Engine).
@@ -327,23 +429,23 @@ func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
 	if len(mapping) != q.NumVertices {
 		return nil, fmt.Errorf("core: mapping has %d entries for %d vertices", len(mapping), q.NumVertices)
 	}
-	matrices, st, err := e.prepared()
+	matrices, st, view, err := e.prepared()
 	if err != nil {
 		return nil, err
 	}
 	vertexMs := make([]*stats.Matrix, q.NumVertices)
 	srcs := make([]join.Source, q.NumVertices)
-	grans := make([]stats.Granulation, q.NumVertices)
+	grans := make([]stats.Grid, q.NumVertices)
 	for v, ci := range mapping {
 		if ci < 0 || ci >= len(e.cols) {
 			return nil, fmt.Errorf("core: vertex %d mapped to collection %d of %d", v, ci, len(e.cols))
 		}
 		vertexMs[v] = matrices[ci].WithCol(v)
-		srcs[v] = st.Col(ci)
-		grans[v] = matrices[ci].Gran
+		srcs[v] = view.Col(ci)
+		grans[v] = matrices[ci].Grid()
 	}
 
-	report := &Report{Query: q}
+	report := &Report{Query: q, Epoch: view.Epoch()}
 	total := time.Now()
 
 	// Phase 1 (online): TopBuckets.
@@ -382,6 +484,7 @@ func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
 	storeAfter := st.Snapshot()
 	report.TreesBuilt = storeAfter.TreesBuilt - storeBefore.TreesBuilt
 	report.TreesReused = storeAfter.TreeHits - storeBefore.TreeHits
+	report.DeltaTreesBuilt = storeAfter.DeltaTreesBuilt - storeBefore.DeltaTreesBuilt
 	report.Join = out
 	report.Results = out.Results
 	// The two jobs are timed independently inside join.Run. Deriving

@@ -8,6 +8,7 @@ import (
 	"tkij/internal/join"
 	"tkij/internal/query"
 	"tkij/internal/scoring"
+	"tkij/internal/snapshot"
 )
 
 // The acceptance contract of the snapshot subsystem: an engine restored
@@ -72,6 +73,81 @@ func TestOpenEngineServesEveryExampleQuery(t *testing.T) {
 		}
 	}
 	// Execute must not have silently re-run the offline phase.
+	if restored.StatsMetrics != nil {
+		t.Fatal("restored engine re-ran the statistics job during Execute")
+	}
+}
+
+// Streaming ingest round trip through the snapshot file: every live
+// Append is mirrored as an appended delta section, and OpenEngine must
+// restore base + deltas into an engine indistinguishable from the live
+// one — same epoch, zero statistics work, identical answers.
+func TestOpenEngineRestoresDeltas(t *testing.T) {
+	cols := synthCols(3, 120, 83)
+	opts := Options{Granules: 6, K: 10, Reducers: 4}
+	live, err := NewEngine(cols, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "stats.tkij")
+	if err := live.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	batches := []struct {
+		col int
+		ivs []interval.Interval
+	}{
+		{0, []interval.Interval{{ID: 930001, Start: 500, End: 600}, {ID: 930002, Start: 3500, End: 3900}}},
+		{2, []interval.Interval{{ID: 950001, Start: 510, End: 620}}},
+		{1, []interval.Interval{{ID: 940001, Start: 505, End: 610}, {ID: 940002, Start: 5000, End: 5200}}}, // clamps beyond the span
+	}
+	for i, b := range batches {
+		epoch, err := live.Append(b.col, b.ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch != int64(i+1) {
+			t.Fatalf("live append %d at epoch %d", i, epoch)
+		}
+		fileEpoch, err := snapshot.AppendDelta(path, b.col, b.ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fileEpoch != epoch {
+			t.Fatalf("file delta recorded epoch %d, live at %d", fileEpoch, epoch)
+		}
+	}
+
+	// live.Append extended cols in place, so they are the post-ingest
+	// dataset the snapshot now describes.
+	restored, err := OpenEngine(cols, path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Restored() || restored.StatsMetrics != nil {
+		t.Fatal("restored engine ran the statistics job")
+	}
+	if restored.Epoch() != int64(len(batches)) {
+		t.Fatalf("restored engine at epoch %d, want %d", restored.Epoch(), len(batches))
+	}
+	env := query.Env{Params: scoring.P1, Avg: interval.AvgLength(cols...)}
+	for _, q := range []*query.Query{query.Qbb(env), query.Qom(env), query.Qss(env)} {
+		want, err := live.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !join.ScoreMultisetEqual(got.Results, want.Results, 1e-9) {
+			t.Fatalf("query %s: restored-with-deltas engine diverged from the live engine", q.Name)
+		}
+		if got.Epoch != int64(len(batches)) {
+			t.Fatalf("query %s pinned epoch %d on the restored engine", q.Name, got.Epoch)
+		}
+	}
 	if restored.StatsMetrics != nil {
 		t.Fatal("restored engine re-ran the statistics job during Execute")
 	}

@@ -193,6 +193,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"ablation", Ablations},
 		{"serving", Serving},
 		{"restart", Restart},
+		{"ingest", Ingest},
 	}
 	var all []*Table
 	for _, r := range runners {
@@ -223,6 +224,7 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		"ablation": Ablations,
 		"serving":  Serving,
 		"restart":  Restart,
+		"ingest":   Ingest,
 	}
 	fn, ok := drivers[id]
 	if !ok {

@@ -1,0 +1,32 @@
+package interval
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeIntervals hammers the fixed-width interval codec: crafted
+// payloads must either decode into valid intervals that re-encode to
+// the identical bytes, or error — never panic and never allocate
+// beyond the input's own size.
+func FuzzDecodeIntervals(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendIntervals(nil, []Interval{{ID: 1, Start: 2, End: 9}, {ID: 2, Start: -5, End: 5}}))
+	f.Add(AppendIntervals(nil, []Interval{{ID: 7, Start: 100, End: 100}})[:20]) // truncated
+	bad := AppendIntervals(nil, []Interval{{ID: 3, Start: 9, End: 2}})          // invalid: start > end
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ivs, err := DecodeIntervals(data)
+		if err != nil {
+			return
+		}
+		for i, iv := range ivs {
+			if !iv.Valid() {
+				t.Fatalf("decoded invalid interval %d: %v", i, iv)
+			}
+		}
+		if re := AppendIntervals(nil, ivs); !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch: %d bytes in, %d out", len(data), len(re))
+		}
+	})
+}

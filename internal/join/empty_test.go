@@ -23,7 +23,7 @@ func TestRunEmptyAssignment(t *testing.T) {
 		newMapSource(0, map[stats.BucketKey][]interval.Interval{}),
 		newMapSource(1, map[stats.BucketKey][]interval.Interval{}),
 	}
-	grans := make([]stats.Granulation, 2)
+	grans := make([]stats.Grid, 2)
 	assign := &distribute.Assignment{
 		Algorithm:      "DTB",
 		Reducers:       3,

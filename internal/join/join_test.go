@@ -87,17 +87,17 @@ func synthCols(n, perCol int, seed int64) []*interval.Collection {
 
 // storeSources builds the dataset-resident store and the per-vertex
 // sources/granulations vertex i reading collection i.
-func storeSources(t *testing.T, cols []*interval.Collection, ms []*stats.Matrix) ([]Source, []stats.Granulation) {
+func storeSources(t *testing.T, cols []*interval.Collection, ms []*stats.Matrix) ([]Source, []stats.Grid) {
 	t.Helper()
 	st, err := store.Build(cols, ms)
 	if err != nil {
 		t.Fatal(err)
 	}
 	srcs := make([]Source, len(cols))
-	grans := make([]stats.Granulation, len(cols))
+	grans := make([]stats.Grid, len(cols))
 	for v := range cols {
 		srcs[v] = st.Col(v)
-		grans[v] = ms[v].Gran
+		grans[v] = ms[v].Grid()
 	}
 	return srcs, grans
 }
@@ -298,7 +298,7 @@ func TestRunLocalDirect(t *testing.T) {
 			data[key] = append(data[key], iv)
 		}
 	}
-	grans := []stats.Granulation{ms[0].Gran, ms[1].Gran}
+	grans := []stats.Grid{ms[0].Grid(), ms[1].Grid()}
 	results, st, err := RunLocal(q, k, tb.Selected, data, grans, LocalOptions{})
 	if err != nil {
 		t.Fatal(err)

@@ -18,8 +18,11 @@ import (
 )
 
 // Source supplies one query vertex's bucket data to the local join:
-// interval slices and memoized R-trees looked up by granule pair.
-// store.ColStore implements it for the dataset-resident serving path;
+// interval slices and memoized R-tree probes looked up by granule
+// pair. store.ColView (an epoch-pinned view) implements it for the
+// dataset-resident serving path — a bucket there may be covered by a
+// sealed base tree plus a small delta tree over appended intervals,
+// which is why the interface exposes a search rather than one tree.
 // mapSource adapts explicit bucket maps for RunLocal and tests.
 // Implementations shared across reduce tasks must be safe for
 // concurrent use.
@@ -27,9 +30,10 @@ type Source interface {
 	// BucketItems returns bucket (startG, endG)'s intervals (nil when
 	// empty). The slice is read-only and must stay stable across calls.
 	BucketItems(startG, endG int) []interval.Interval
-	// BucketTree returns an R-tree over the bucket's (start, end) points
-	// whose Refs index into BucketItems, or nil for an empty bucket.
-	BucketTree(startG, endG int) *rtree.Tree
+	// SearchBucket probes bucket (startG, endG) for (start, end) points
+	// inside box, invoking fn with indexes into BucketItems. fn
+	// returning false stops the probe.
+	SearchBucket(startG, endG int, box rtree.Rect, fn func(ref int32) bool)
 }
 
 // mapSource adapts a vertex-scoped bucket map to Source, building
@@ -49,18 +53,18 @@ func (ms *mapSource) BucketItems(startG, endG int) []interval.Interval {
 	return ms.data[stats.BucketKey{Col: ms.col, StartG: startG, EndG: endG}]
 }
 
-func (ms *mapSource) BucketTree(startG, endG int) *rtree.Tree {
+func (ms *mapSource) SearchBucket(startG, endG int, box rtree.Rect, fn func(ref int32) bool) {
 	key := stats.BucketKey{Col: ms.col, StartG: startG, EndG: endG}
-	if t, ok := ms.tree[key]; ok {
-		return t
+	t, ok := ms.tree[key]
+	if !ok {
+		items := ms.data[key]
+		if len(items) == 0 {
+			return
+		}
+		t = store.TreeOf(items)
+		ms.tree[key] = t
 	}
-	items := ms.data[key]
-	if len(items) == 0 {
-		return nil
-	}
-	t := store.TreeOf(items)
-	ms.tree[key] = t
-	return t
+	t.Search(box, func(pt rtree.Point) bool { return fn(pt.Ref) })
 }
 
 // LocalOptions tunes the per-reducer join. The zero value is the paper's
@@ -237,10 +241,11 @@ type localJoiner struct {
 	probeCount int
 	stop       bool
 
-	// grans maps each query vertex to its collection's granulation, used
-	// to derive per-edge score upper bounds within the current
-	// combination.
-	grans []stats.Granulation
+	// grans maps each query vertex to its collection's granulation plus
+	// observed endpoint extent, used to derive per-edge score upper
+	// bounds within the current combination (extent-widened boundary
+	// granules keep the bounds sound for clamped appends).
+	grans []stats.Grid
 	// edgeUB[ei] bounds edge ei's score for tuples drawn from the
 	// combination being processed — far tighter than the generic 1.0 for
 	// star queries whose edges mostly cannot score at all in a given
@@ -248,7 +253,7 @@ type localJoiner struct {
 	edgeUB []float64
 }
 
-func newLocalJoiner(p *plan, k int, opts LocalOptions, srcs []Source, grans []stats.Granulation, shared *SharedFloor) *localJoiner {
+func newLocalJoiner(p *plan, k int, opts LocalOptions, srcs []Source, grans []stats.Grid, shared *SharedFloor) *localJoiner {
 	lj := &localJoiner{
 		plan:     p,
 		k:        k,
@@ -508,10 +513,9 @@ func (lj *localJoiner) recurse(pos int, combo topbuckets.Combo) {
 		}
 		return
 	}
-	tree := lj.srcs[v].BucketTree(b.StartG, b.EndG)
 	box := lj.candidateBox(pos, vmin)
-	tree.Search(box, func(pt rtree.Point) bool {
-		visit(items[pt.Ref])
+	lj.srcs[v].SearchBucket(b.StartG, b.EndG, box, func(ref int32) bool {
+		visit(items[ref])
 		return !lj.stop
 	})
 }
@@ -638,10 +642,10 @@ func (lj *localJoiner) partialUpperBound() float64 {
 
 // RunLocal evaluates the query over explicit bucket data (keys scoped
 // by query vertex) — usable directly for single-process execution and
-// tests. grans (one granulation per query vertex) enables
-// in-combination per-edge bounds; nil is allowed and falls back to
-// trivial bounds.
-func RunLocal(q *query.Query, k int, combos []topbuckets.Combo, data map[stats.BucketKey][]interval.Interval, grans []stats.Granulation, opts LocalOptions) ([]Result, LocalStats, error) {
+// tests. grans (one granulation + extent grid per query vertex)
+// enables in-combination per-edge bounds; nil is allowed and falls
+// back to trivial bounds.
+func RunLocal(q *query.Query, k int, combos []topbuckets.Combo, data map[stats.BucketKey][]interval.Interval, grans []stats.Grid, opts LocalOptions) ([]Result, LocalStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, LocalStats{}, err
 	}

@@ -86,14 +86,18 @@ type reducerOut struct {
 // Run executes steps (c)-(e) of Figure 5: the join Map-Reduce job using
 // the given workload assignment, followed by the merge job. srcs[i]
 // serves query vertex i's resident bucket data (see Source); grans[i]
-// is the granulation vertex i's buckets live under. The job shuffles
+// is the granulation (with observed endpoint extent) vertex i's
+// buckets live under. The job shuffles
 // bucket references — raw intervals stay resident in the store — and
 // reducers prune against a shared cross-reducer threshold seeded from
 // opts.Floor.
 //
-// srcs implementations must be safe for concurrent use; store.ColStore
-// is.
-func Run(q *query.Query, srcs []Source, grans []stats.Granulation,
+// srcs implementations must be safe for concurrent use; store.ColView
+// (an epoch-pinned view) is, and is what the engine passes. A raw
+// store.ColStore tracks the latest epoch per call, so under concurrent
+// Append its BucketItems and SearchBucket can observe different
+// epochs — pin a Store.View instead whenever appends may run.
+func Run(q *query.Query, srcs []Source, grans []stats.Grid,
 	combos []topbuckets.Combo, assign *distribute.Assignment, k int,
 	cfg mapreduce.Config, opts LocalOptions) (*Output, error) {
 

@@ -1,0 +1,101 @@
+package snapshot
+
+import (
+	"hash/crc64"
+	"testing"
+
+	"tkij/internal/interval"
+	"tkij/internal/mapreduce"
+	"tkij/internal/stats"
+	"tkij/internal/store"
+)
+
+// fuzzImageSeed deterministically builds a small valid snapshot image
+// (with one delta section) for the fuzz corpus.
+func fuzzImageSeed(withDelta bool) []byte {
+	cols := []*interval.Collection{
+		{Name: "A", Items: []interval.Interval{
+			{ID: 1, Start: 5, End: 30}, {ID: 2, Start: 40, End: 90}, {ID: 3, Start: 6, End: 28}, {ID: 4, Start: 71, End: 95},
+		}},
+		{Name: "B", Items: []interval.Interval{{ID: 1, Start: 10, End: 80}, {ID: 2, Start: 11, End: 79}}},
+	}
+	ms, _, err := stats.Collect(cols, 3, mapreduce.Config{Mappers: 1})
+	if err != nil {
+		panic(err)
+	}
+	st, err := store.Build(cols, ms)
+	if err != nil {
+		panic(err)
+	}
+	img, err := Encode(st, ms)
+	if err != nil {
+		panic(err)
+	}
+	if !withDelta {
+		return img
+	}
+	var body []byte
+	body = interval.AppendU64(body, 1)
+	body = interval.AppendI64(body, 0)
+	body = interval.AppendU64(body, 1)
+	body = interval.AppendIntervals(body, []interval.Interval{{ID: 9, Start: 50, End: 60}})
+	img = appendSection(img, sectionDelta, body)
+	hdr := interval.NewBinaryReader(img[16:24])
+	interval.PutU64(img[16:], hdr.U64()+1)
+	interval.PutU64(img[24:], uint64(len(img)-headerSize))
+	interval.PutU64(img[32:], crc64.Checksum(img[headerSize:], crcTable))
+	return img
+}
+
+// reseal recomputes the payload checksum so a mutation inside the
+// payload reaches the section decoders instead of dying at the CRC
+// gate — that is where the interesting bugs live.
+func reseal(img []byte) []byte {
+	if len(img) < headerSize {
+		return img
+	}
+	out := append([]byte(nil), img...)
+	interval.PutU64(out[24:], uint64(len(out)-headerSize))
+	interval.PutU64(out[32:], crc64.Checksum(out[headerSize:], crcTable))
+	return out
+}
+
+// FuzzLoad is the snapshot loader's no-panic guarantee: any byte
+// string — truncated, bit-flipped, resealed with a valid checksum,
+// delta-bearing or pure garbage — must either decode into a coherent
+// store or return an error. Never a panic, never an allocation blow-up,
+// never a partial store.
+func FuzzLoad(f *testing.F) {
+	base := fuzzImageSeed(false)
+	delta := fuzzImageSeed(true)
+	f.Add([]byte{})
+	f.Add([]byte("TKIJSNAP"))
+	f.Add(base)
+	f.Add(delta)
+	f.Add(base[:headerSize])
+	f.Add(base[:len(base)-9])
+	for _, off := range []int{8, 16, 24, 56, len(base) / 2, len(base) - 16} {
+		mut := append([]byte(nil), base...)
+		mut[off] ^= 0x5a
+		f.Add(mut)
+		f.Add(reseal(mut))
+	}
+	mutd := append([]byte(nil), delta...)
+	mutd[len(mutd)-20] ^= 0xff // inside the delta section
+	f.Add(reseal(mutd))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, ms, err := Decode(data)
+		if err != nil {
+			if st != nil || ms != nil {
+				t.Fatal("Decode returned a partial store alongside an error")
+			}
+			return
+		}
+		// A successful decode must be internally coherent: Encode accepts
+		// exactly the (store, matrices) pairs that pass checkCoherence —
+		// including the merged state after delta replay.
+		if _, err := Encode(st, ms); err != nil {
+			t.Fatalf("decoded snapshot fails re-encoding: %v", err)
+		}
+	})
+}

@@ -21,11 +21,22 @@
 // is all-or-nothing: any structural damage — bad magic, version
 // mismatch, truncation, checksum failure, or a section that fails its
 // package's validation — returns an error and never a partial store.
+//
+// Streaming ingest extends a snapshot without a format break: each
+// appended batch becomes one delta section (AppendDelta) after the base
+// matrices/store sections, in epoch order, using the same framing; only
+// the fixed-offset header (section count, payload length, CRC) is
+// rewritten. Decode replays delta sections onto both the store (one
+// Append per section, re-establishing the epoch sequence) and the
+// matrices (incremental count maintenance), then re-verifies coherence
+// on the merged state — so a restored engine is indistinguishable from
+// the live engine that appended the same batches.
 package snapshot
 
 import (
 	"fmt"
 	"hash/crc64"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -44,6 +55,10 @@ const (
 
 	sectionMatrices = 1
 	sectionStore    = 2
+	// sectionDelta is one appended ingest batch: epoch, collection,
+	// interval count, then the contiguous fixed-width interval payload.
+	// Delta sections follow the base sections in epoch order (1, 2, ...).
+	sectionDelta = 3
 )
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
@@ -172,10 +187,15 @@ func Decode(img []byte) (*store.Store, []*stats.Matrix, error) {
 	nSections := hdr.U64()
 	payloadLen := hdr.U64()
 	wantCRC := hdr.U64()
-	payload := img[headerSize:]
-	if uint64(len(payload)) != payloadLen {
-		return nil, nil, fmt.Errorf("snapshot: header declares %d payload bytes, file has %d (truncated?)", payloadLen, len(payload))
+	if payloadLen > uint64(len(img)-headerSize) {
+		return nil, nil, fmt.Errorf("snapshot: header declares %d payload bytes, file has %d (truncated?)", payloadLen, len(img)-headerSize)
 	}
+	// Bytes beyond the declared payload are tolerated (not an error):
+	// AppendDelta writes the new section before committing the header,
+	// so a crash between the two leaves exactly this shape — a fully
+	// valid snapshot followed by uncommitted bytes the header (and the
+	// checksum) does not cover.
+	payload := img[headerSize : headerSize+int(payloadLen)]
 	if got := crc64.Checksum(payload, crcTable); got != wantCRC {
 		return nil, nil, fmt.Errorf("snapshot: checksum mismatch (want %016x, got %016x): file is corrupted", wantCRC, got)
 	}
@@ -183,6 +203,7 @@ func Decode(img []byte) (*store.Store, []*stats.Matrix, error) {
 	var (
 		matrices []*stats.Matrix
 		st       *store.Store
+		deltas   []pendingDelta
 	)
 	r := interval.NewBinaryReader(payload)
 	for s := uint64(0); s < nSections; s++ {
@@ -228,6 +249,15 @@ func Decode(img []byte) (*store.Store, []*stats.Matrix, error) {
 			if br.Len() != 0 {
 				return nil, nil, fmt.Errorf("snapshot: store section has %d trailing bytes", br.Len())
 			}
+		case sectionDelta:
+			if matrices == nil || st == nil {
+				return nil, nil, fmt.Errorf("snapshot: delta section %d precedes the base matrices/store sections", s)
+			}
+			d, err := readDelta(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("snapshot: delta section %d: %w", s, err)
+			}
+			deltas = append(deltas, d)
 		default:
 			// Unknown sections are an error, not skippable: within one
 			// version the section set is fixed, so this is corruption.
@@ -242,11 +272,70 @@ func Decode(img []byte) (*store.Store, []*stats.Matrix, error) {
 	}
 
 	// Cross-section coherence: the matrices must describe exactly the
-	// partitions the store holds.
+	// partitions the base store section holds, before any delta replays
+	// on top.
 	if err := checkCoherence(st, matrices); err != nil {
 		return nil, nil, err
 	}
+
+	// Replay the ingest deltas in epoch order onto both the store (which
+	// re-establishes the epoch sequence exactly as the live engine
+	// published it) and the matrices (incremental count maintenance),
+	// then re-verify coherence on the merged state.
+	for i, d := range deltas {
+		if d.epoch != uint64(i+1) {
+			return nil, nil, fmt.Errorf("snapshot: delta epoch %d out of order (expected %d)", d.epoch, i+1)
+		}
+		if d.col < 0 || d.col >= int64(len(matrices)) {
+			return nil, nil, fmt.Errorf("snapshot: delta epoch %d targets collection %d of %d", d.epoch, d.col, len(matrices))
+		}
+		for _, iv := range d.ivs {
+			matrices[d.col].Add(iv)
+		}
+		if _, err := st.Append(int(d.col), d.ivs); err != nil {
+			return nil, nil, fmt.Errorf("snapshot: replaying delta epoch %d: %w", d.epoch, err)
+		}
+	}
+	if len(deltas) > 0 {
+		for i, m := range matrices {
+			if err := m.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("snapshot: matrix %d after delta replay: %w", i, err)
+			}
+		}
+		if err := checkCoherence(st, matrices); err != nil {
+			return nil, nil, err
+		}
+	}
 	return st, matrices, nil
+}
+
+// pendingDelta is one decoded-but-unapplied delta section.
+type pendingDelta struct {
+	epoch uint64
+	col   int64
+	ivs   []interval.Interval
+}
+
+// readDelta consumes one delta section body: epoch, collection index,
+// interval count, contiguous interval payload.
+func readDelta(br *interval.BinaryReader) (pendingDelta, error) {
+	epoch := br.U64()
+	col := br.I64()
+	count := br.U64()
+	if err := br.Err(); err != nil {
+		return pendingDelta{}, err
+	}
+	if count == 0 || count > uint64(br.Len())/interval.BinaryIntervalSize {
+		return pendingDelta{}, fmt.Errorf("body of %d bytes declares %d intervals", br.Len(), count)
+	}
+	ivs, err := interval.DecodeIntervals(br.Bytes(int(count) * interval.BinaryIntervalSize))
+	if err != nil {
+		return pendingDelta{}, err
+	}
+	if br.Len() != 0 {
+		return pendingDelta{}, fmt.Errorf("%d trailing bytes", br.Len())
+	}
+	return pendingDelta{epoch: epoch, col: col, ivs: ivs}, nil
 }
 
 // Save atomically writes a snapshot file: the image is written to a
@@ -257,6 +346,165 @@ func Save(path string, st *store.Store, matrices []*stats.Matrix) error {
 	if err != nil {
 		return err
 	}
+	return WriteImage(path, img)
+}
+
+// AppendDelta extends an existing snapshot file with one ingest batch
+// as a delta section, in O(batch) work beyond one sequential read of
+// the file: the base sections are verified (checksum + structural
+// section walk — deep per-section validation stays where it always
+// runs, at Load) but never decoded, re-encoded or rewritten; the new
+// section's bytes are appended in place; and the checksum is extended
+// incrementally (crc64.Update over just the new bytes). The recorded
+// epoch continues the file's existing delta sequence.
+//
+// Commit order: the section is written and synced beyond the committed
+// payload first, and only then is the fixed-offset header (section
+// count, payload length, checksum) rewritten. A crash before the
+// header commit leaves trailing bytes the header does not cover —
+// Decode ignores them and serves the previous state; the next
+// AppendDelta overwrites them. The header commit itself is one 48-byte
+// write at offset 0, assumed atomic at the storage layer (it fits one
+// disk sector — the same assumption write-ahead logs make); a torn
+// header fails the checksum at load rather than serving silent
+// corruption, and is repaired by re-saving the engine's snapshot.
+// Callers who cannot accept that window should Save to a fresh file
+// instead, which commits via rename.
+//
+// It returns the epoch the batch was recorded as.
+func AppendDelta(path string, col int, ivs []interval.Interval) (int64, error) {
+	if len(ivs) == 0 {
+		return 0, fmt.Errorf("snapshot: empty delta for %s", path)
+	}
+	for _, iv := range ivs {
+		if !iv.Valid() {
+			return 0, fmt.Errorf("snapshot: delta holds invalid interval %v", iv)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	img, err := io.ReadAll(f)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: reading %s: %w", path, err)
+	}
+	nCols, lastEpoch, payloadLen, oldCRC, err := scanImage(img)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: refusing to extend %s: %w", path, err)
+	}
+	if col < 0 || uint64(col) >= nCols {
+		return 0, fmt.Errorf("snapshot: delta targets collection %d, %s holds %d", col, path, nCols)
+	}
+	epoch := lastEpoch + 1
+
+	var body []byte
+	body = interval.AppendU64(body, epoch)
+	body = interval.AppendI64(body, int64(col))
+	body = interval.AppendU64(body, uint64(len(ivs)))
+	body = interval.AppendIntervals(body, ivs)
+	sec := appendSection(nil, sectionDelta, body)
+
+	// Write the section past the committed payload, drop any trailing
+	// bytes from an earlier interrupted append, and sync before the
+	// header commit can make the new section visible.
+	end := int64(headerSize) + int64(payloadLen)
+	if _, err := f.WriteAt(sec, end); err != nil {
+		return 0, fmt.Errorf("snapshot: extending %s: %w", path, err)
+	}
+	if err := f.Truncate(end + int64(len(sec))); err != nil {
+		return 0, fmt.Errorf("snapshot: extending %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("snapshot: extending %s: %w", path, err)
+	}
+
+	hdr := make([]byte, headerSize)
+	copy(hdr, img[:headerSize])
+	r := interval.NewBinaryReader(img[16:24])
+	interval.PutU64(hdr[16:], r.U64()+1) // section count
+	interval.PutU64(hdr[24:], payloadLen+uint64(len(sec)))
+	interval.PutU64(hdr[32:], crc64.Update(oldCRC, crcTable, sec))
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return 0, fmt.Errorf("snapshot: committing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("snapshot: committing %s: %w", path, err)
+	}
+	return int64(epoch), nil
+}
+
+// scanImage verifies a snapshot image's header, checksum and section
+// framing without decoding section bodies: every section kind must be
+// known and well-framed, the base matrices/store sections present, and
+// delta epochs sequential. It returns the collection count (from the
+// matrices section header), the last delta epoch (0 when none), the
+// committed payload length, and the committed checksum.
+func scanImage(img []byte) (nCols, lastEpoch, payloadLen, crc uint64, err error) {
+	if len(img) < headerSize {
+		return 0, 0, 0, 0, fmt.Errorf("%d bytes is shorter than the %d-byte header", len(img), headerSize)
+	}
+	hdr := interval.NewBinaryReader(img[:headerSize])
+	if got := string(hdr.Bytes(8)); got != magic {
+		return 0, 0, 0, 0, fmt.Errorf("bad magic %q (not a snapshot file)", got)
+	}
+	if v := hdr.U64(); v != Version {
+		return 0, 0, 0, 0, fmt.Errorf("format version %d, this build reads version %d", v, Version)
+	}
+	nSections := hdr.U64()
+	payloadLen = hdr.U64()
+	crc = hdr.U64()
+	if payloadLen > uint64(len(img)-headerSize) {
+		return 0, 0, 0, 0, fmt.Errorf("header declares %d payload bytes, file has %d (truncated?)", payloadLen, len(img)-headerSize)
+	}
+	payload := img[headerSize : headerSize+int(payloadLen)]
+	if got := crc64.Checksum(payload, crcTable); got != crc {
+		return 0, 0, 0, 0, fmt.Errorf("checksum mismatch (want %016x, got %016x): file is corrupted", crc, got)
+	}
+	r := interval.NewBinaryReader(payload)
+	var sawStore bool
+	for s := uint64(0); s < nSections; s++ {
+		kind := r.U64()
+		bodyLen := int(r.U64())
+		body := r.Bytes(bodyLen)
+		if pad := (8 - bodyLen%8) % 8; pad > 0 {
+			r.Bytes(pad)
+		}
+		if err := r.Err(); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("section %d: %w", s, err)
+		}
+		br := interval.NewBinaryReader(body)
+		switch kind {
+		case sectionMatrices:
+			if nCols = br.U64(); br.Err() != nil || nCols == 0 {
+				return 0, 0, 0, 0, fmt.Errorf("section %d: malformed matrices header", s)
+			}
+		case sectionStore:
+			sawStore = true
+		case sectionDelta:
+			epoch := br.U64()
+			if br.Err() != nil || epoch != lastEpoch+1 {
+				return 0, 0, 0, 0, fmt.Errorf("section %d: delta epoch %d out of order (expected %d)", s, epoch, lastEpoch+1)
+			}
+			lastEpoch = epoch
+		default:
+			return 0, 0, 0, 0, fmt.Errorf("unknown section kind %d", kind)
+		}
+	}
+	if r.Len() != 0 {
+		return 0, 0, 0, 0, fmt.Errorf("payload has %d bytes beyond the declared sections", r.Len())
+	}
+	if nCols == 0 || !sawStore {
+		return 0, 0, 0, 0, fmt.Errorf("incomplete file (matrices present: %t, store present: %t)", nCols != 0, sawStore)
+	}
+	return nCols, lastEpoch, payloadLen, crc, nil
+}
+
+// WriteImage atomically writes an encoded snapshot image to path via a
+// temporary sibling and rename, so a crash mid-write never leaves a
+// truncated snapshot at path.
+func WriteImage(path string, img []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tkij-snapshot-*")
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)

@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"bytes"
+	"testing"
+
+	"tkij/internal/interval"
+)
+
+// fuzzMatrixSeed deterministically encodes a small valid matrix for the
+// fuzz corpus.
+func fuzzMatrixSeed() []byte {
+	gran, _ := NewGranulation(0, 100, 4)
+	m := NewMatrix(1, gran)
+	m.Add(interval.Interval{ID: 1, Start: 3, End: 40})
+	m.Add(interval.Interval{ID: 2, Start: 60, End: 99})
+	m.Add(interval.Interval{ID: 3, Start: 60, End: 70})
+	return m.AppendMatrix(nil)
+}
+
+// FuzzReadMatrix: crafted matrix sections must decode into a matrix
+// that validates and re-encodes to the exact bytes consumed, or error —
+// never panic, never OOM (the decoder bounds the G×G allocation by the
+// remaining payload before allocating).
+func FuzzReadMatrix(f *testing.F) {
+	seed := fuzzMatrixSeed()
+	f.Add([]byte{})
+	f.Add(seed)
+	f.Add(seed[:len(seed)-8])    // truncated counts
+	f.Add(append(seed, 0, 0, 0)) // trailing garbage (must be left unread)
+	huge := make([]byte, len(seed))
+	copy(huge, seed)
+	huge[24] = 0xff // inflate G
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := interval.NewBinaryReader(data)
+		m, err := ReadMatrix(r)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoded matrix fails validation: %v", err)
+		}
+		if re := m.AppendMatrix(nil); !bytes.Equal(re, data[:r.Offset()]) {
+			t.Fatalf("re-encode mismatch over %d consumed bytes", r.Offset())
+		}
+	})
+}

@@ -72,3 +72,36 @@ func (gr Granulation) Bounds(l int) (lo, hi float64) {
 func (gr Granulation) BucketOf(iv interval.Interval) (l, lp int) {
 	return gr.IndexOf(iv.Start), gr.IndexOf(iv.End)
 }
+
+// Grid couples a granulation with the observed endpoint extent of the
+// data bucketed under it. A granulation built from one dataset and then
+// applied to appended data clamps out-of-range endpoints into the
+// boundary granules (IndexOf), so the boundary granules' time boxes no
+// longer contain every endpoint filed in them — and a score bound
+// computed from such a box is unsound: a certified-positive bound over
+// the box says nothing about a clamped interval far outside it, and
+// TopBuckets or the local join would prune true results. Grid.Bounds
+// widens exactly the two boundary granules to the extent actually
+// observed, restoring box-contains-data (and with it bound soundness)
+// while interior granules keep their tight boxes.
+type Grid struct {
+	Gran Granulation
+	// Lo and Hi cover every endpoint ever bucketed: Lo <= all starts
+	// and ends, Hi >= all of them. For data within the granulation's
+	// range they equal Gran.Min and Gran.Max.
+	Lo, Hi interval.Timestamp
+}
+
+// Bounds returns the time range covered by granule l's contents: the
+// granule box, widened at the first and last granule to the observed
+// extent.
+func (g Grid) Bounds(l int) (lo, hi float64) {
+	lo, hi = g.Gran.Bounds(l)
+	if l == 0 && float64(g.Lo) < lo {
+		lo = float64(g.Lo)
+	}
+	if l == g.Gran.G-1 && float64(g.Hi) > hi {
+		hi = float64(g.Hi)
+	}
+	return lo, hi
+}

@@ -42,6 +42,14 @@ type Matrix struct {
 	Gran   Granulation
 	Counts [][]int
 	total  int
+	// extLo and extHi track the observed endpoint extent. Incremental
+	// maintenance (Add, via ApplyUpdate or streaming appends) clamps
+	// out-of-range endpoints into the boundary granules, and every
+	// bound computed from granule boxes must widen those granules to
+	// the data actually in them (Grid) to stay sound. The extent only
+	// ever widens — after deletions a too-wide extent merely loosens
+	// boundary bounds, never breaks them.
+	extLo, extHi interval.Timestamp
 }
 
 // NewMatrix returns an empty matrix over the given granulation.
@@ -51,14 +59,40 @@ func NewMatrix(col int, gran Granulation) *Matrix {
 	for l := range counts {
 		counts[l], backing = backing[:gran.G], backing[gran.G:]
 	}
-	return &Matrix{Col: col, Gran: gran, Counts: counts}
+	return &Matrix{Col: col, Gran: gran, Counts: counts, extLo: gran.Min, extHi: gran.Max}
 }
 
-// Add records one interval.
+// Add records one interval. Endpoints outside the granulation range
+// clamp to the boundary granules and widen the observed extent.
 func (m *Matrix) Add(iv interval.Interval) {
 	l, lp := m.Gran.BucketOf(iv)
 	m.Counts[l][lp]++
 	m.total++
+	if iv.Start < m.extLo {
+		m.extLo = iv.Start
+	}
+	if iv.End > m.extHi {
+		m.extHi = iv.End
+	}
+}
+
+// Grid returns the granulation paired with the observed endpoint
+// extent — the box source every bound computation must use so that
+// boundary granules cover clamped (appended out-of-range) endpoints.
+func (m *Matrix) Grid() Grid {
+	return Grid{Gran: m.Gran, Lo: m.extLo, Hi: m.extHi}
+}
+
+// Widen grows the observed endpoint extent to cover [lo, hi]. Engines
+// restoring matrices from a snapshot (which does not persist extents)
+// re-derive them from the live collections and widen here.
+func (m *Matrix) Widen(lo, hi interval.Timestamp) {
+	if lo < m.extLo {
+		m.extLo = lo
+	}
+	if hi > m.extHi {
+		m.extHi = hi
+	}
 }
 
 // Remove un-records one interval (dataset deletions, §3.2 "we can easily
@@ -81,7 +115,21 @@ func (m *Matrix) Merge(other *Matrix) error {
 		}
 	}
 	m.total += other.total
+	m.Widen(other.extLo, other.extHi)
 	return nil
+}
+
+// Clone returns a deep copy of the matrix. The engine's append path
+// clones before ApplyUpdate so queries that captured the pre-update
+// matrix keep reading an immutable snapshot (copy-on-write).
+func (m *Matrix) Clone() *Matrix {
+	cp := NewMatrix(m.Col, m.Gran)
+	for l := range m.Counts {
+		copy(cp.Counts[l], m.Counts[l])
+	}
+	cp.total = m.total
+	cp.extLo, cp.extHi = m.extLo, m.extHi
+	return cp
 }
 
 // Total returns the number of recorded intervals.
@@ -142,10 +190,12 @@ func (m *Matrix) WithCol(col int) *Matrix {
 // Box returns the endpoint domains of bucket (l, l'): the start variable
 // ranges over granule l and the end variable over granule l'. The
 // solver uses these as decision-variable domains (constraints (1)(2) of
-// the Bounds Problem in §3.3).
+// the Bounds Problem in §3.3). Boundary granules are widened to the
+// observed endpoint extent so the box contains clamped appends.
 func (m *Matrix) Box(l, lp int) (startLo, startHi, endLo, endHi float64) {
-	startLo, startHi = m.Gran.Bounds(l)
-	endLo, endHi = m.Gran.Bounds(lp)
+	g := m.Grid()
+	startLo, startHi = g.Bounds(l)
+	endLo, endHi = g.Bounds(lp)
 	return
 }
 

@@ -21,11 +21,11 @@ import (
 // store must present every bucket slice in its original order for tree
 // Refs to keep resolving to the same intervals.
 
-// sortedKeys returns the store's bucket keys in deterministic
+// sortedKeys returns a partition's bucket keys in deterministic
 // (startG, endG) order.
-func (cs *ColStore) sortedKeys() []gkey {
-	keys := make([]gkey, 0, len(cs.buckets))
-	for k := range cs.buckets {
+func sortedKeys(buckets map[gkey]*bucket) []gkey {
+	keys := make([]gkey, 0, len(buckets))
+	for k := range buckets {
 		keys = append(keys, k)
 	}
 	slices.SortFunc(keys, func(a, b gkey) int {
@@ -37,21 +37,25 @@ func (cs *ColStore) sortedKeys() []gkey {
 	return keys
 }
 
-// AppendColStore appends one collection's partition: collection index,
-// granulation, bucket count, the bucket directory, then each bucket's
-// contiguous interval payload in directory order.
+// AppendColStore appends one collection's partition as of the latest
+// epoch: collection index, granulation, bucket count, the bucket
+// directory, then each bucket's contiguous interval payload in
+// directory order. Bucket deltas are folded in (each bucket's items are
+// written base-then-delta, the live order), so a decoded partition is
+// fully sealed.
 func (cs *ColStore) AppendColStore(dst []byte) []byte {
+	view := cs.cur.Load()
 	dst = interval.AppendI64(dst, int64(cs.col))
 	dst = stats.AppendGranulation(dst, cs.gran)
-	keys := cs.sortedKeys()
+	keys := sortedKeys(view.buckets)
 	dst = interval.AppendU64(dst, uint64(len(keys)))
 	for _, k := range keys {
 		dst = interval.AppendI64(dst, int64(k.startG))
 		dst = interval.AppendI64(dst, int64(k.endG))
-		dst = interval.AppendU64(dst, uint64(len(cs.buckets[k].items)))
+		dst = interval.AppendU64(dst, uint64(len(view.buckets[k].items)))
 	}
 	for _, k := range keys {
-		dst = interval.AppendIntervals(dst, cs.buckets[k].items)
+		dst = interval.AppendIntervals(dst, view.buckets[k].items)
 	}
 	return dst
 }
@@ -85,7 +89,9 @@ func ReadColStore(r *interval.BinaryReader) (*ColStore, error) {
 		count int
 	}
 	dir := make([]dirEntry, nBuckets)
-	cs := &ColStore{col: int(col), gran: gran, buckets: make(map[gkey]*bucket, nBuckets)}
+	cs := &ColStore{col: int(col), gran: gran}
+	buckets := make(map[gkey]*bucket, nBuckets)
+	total := 0
 	for i := range dir {
 		startG, endG := int(r.I64()), int(r.I64())
 		count := r.U64()
@@ -103,10 +109,10 @@ func ReadColStore(r *interval.BinaryReader) (*ColStore, error) {
 				col, startG, endG, count, r.Len()/interval.BinaryIntervalSize)
 		}
 		k := gkey{startG, endG}
-		if cs.buckets[k] != nil {
+		if buckets[k] != nil {
 			return nil, fmt.Errorf("store: collection %d bucket (%d,%d) appears twice", col, startG, endG)
 		}
-		cs.buckets[k] = &bucket{}
+		buckets[k] = &bucket{}
 		dir[i] = dirEntry{key: k, count: int(count)}
 	}
 	for _, d := range dir {
@@ -120,11 +126,16 @@ func ReadColStore(r *interval.BinaryReader) (*ColStore, error) {
 					col, d.key.startG, d.key.endG, i, iv, l, lp)
 			}
 		}
-		cs.buckets[d.key].items = items
+		b := buckets[d.key]
+		b.items = items
+		b.sealed = len(items)
+		b.base = &treeMemo{}
+		total += len(items)
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("store: decoding partition of collection %d: %w", col, err)
 	}
+	cs.cur.Store(&colView{buckets: buckets, n: total})
 	return cs, nil
 }
 
@@ -156,7 +167,7 @@ func ReadStore(r *interval.BinaryReader) (*Store, error) {
 	if nCols == 0 || nCols > uint64(r.Len()/8+1) {
 		return nil, fmt.Errorf("store: snapshot declares %d collections", nCols)
 	}
-	s := &Store{cols: make([]*ColStore, nCols)}
+	s := &Store{cols: make([]*ColStore, nCols), compactLimit: DefaultCompactLimit}
 	for i := range s.cols {
 		bodyLen := r.U64()
 		body := r.Bytes(int(bodyLen))
@@ -174,9 +185,7 @@ func ReadStore(r *interval.BinaryReader) (*Store, error) {
 		if cs.col != i {
 			return nil, fmt.Errorf("store: partition %d encodes collection %d", i, cs.col)
 		}
-		for _, b := range cs.buckets {
-			s.intervals += len(b.items)
-		}
+		s.intervals += cs.cur.Load().n
 		s.cols[i] = cs
 	}
 	return s, nil

@@ -1,0 +1,58 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"tkij/internal/interval"
+	"tkij/internal/stats"
+)
+
+// fuzzStoreSeed deterministically encodes a small valid two-collection
+// partition for the fuzz corpus.
+func fuzzStoreSeed() []byte {
+	cols := []*interval.Collection{
+		{Name: "A", Items: []interval.Interval{{ID: 1, Start: 5, End: 30}, {ID: 2, Start: 40, End: 90}, {ID: 3, Start: 6, End: 28}}},
+		{Name: "B", Items: []interval.Interval{{ID: 1, Start: 10, End: 80}}},
+	}
+	ms := make([]*stats.Matrix, len(cols))
+	for i, c := range cols {
+		gran, _ := stats.NewGranulation(0, 100, 3)
+		ms[i] = stats.NewMatrix(i, gran)
+		for _, iv := range c.Items {
+			ms[i].Add(iv)
+		}
+	}
+	s, err := Build(cols, ms)
+	if err != nil {
+		panic(err)
+	}
+	return s.AppendStore(nil)
+}
+
+// FuzzReadStore: crafted partition payloads must decode into a store
+// that re-encodes to the exact bytes consumed, or error — never panic,
+// never OOM (bucket and interval counts are bounded by the remaining
+// payload before anything is allocated).
+func FuzzReadStore(f *testing.F) {
+	seed := fuzzStoreSeed()
+	f.Add([]byte{})
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)-1] ^= 0x40 // corrupt an interval payload word
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := interval.NewBinaryReader(data)
+		s, err := ReadStore(r)
+		if err != nil {
+			return
+		}
+		if s.Epoch() != 0 {
+			t.Fatalf("decoded store at epoch %d", s.Epoch())
+		}
+		if re := s.AppendStore(nil); !bytes.Equal(re, data[:r.Offset()]) {
+			t.Fatalf("re-encode mismatch over %d consumed bytes", r.Offset())
+		}
+	})
+}

@@ -11,13 +11,27 @@
 // queries and across concurrent reducers. The join job then shuffles
 // bucket *references* instead of interval records.
 //
-// All read paths are safe for concurrent use: the partitions are
-// immutable after Build, and tree memoization is per-bucket
-// sync.Once-guarded.
+// The store is epoch-versioned for streaming ingest (the paper's
+// motivating workloads — network traffic, tweets — are append-heavy
+// streams). Build seals epoch 0; each Append publishes a new epoch as a
+// copy-on-write view: untouched buckets share their bucket struct (and
+// memoized R-tree) with the previous epoch, while a touched bucket
+// keeps its sealed prefix — and the sealed prefix's memoized tree —
+// and gains a small delta tree over the appended suffix. Once a
+// bucket's delta outgrows the compaction threshold the bucket is
+// resealed, and the next probe pays one bulk rebuild for that bucket
+// alone. Appends therefore never invalidate unaffected buckets'
+// R-trees, and a query that pins a View at admission observes exactly
+// one epoch no matter how many appends land while it runs.
+//
+// All read paths are safe for concurrent use: epoch views are immutable
+// once published, tree memoization is per-bucket sync.Once-guarded, and
+// Append (serialized internally) only ever publishes fresh views.
 package store
 
 import (
 	"fmt"
+	"maps"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +39,13 @@ import (
 	"tkij/internal/rtree"
 	"tkij/internal/stats"
 )
+
+// DefaultCompactLimit is the delta size at which a bucket is resealed
+// (see SetCompactLimit): a bucket also compacts whenever its delta
+// grows past its sealed prefix, so small fresh buckets reseal cheaply
+// while large established buckets amortize one rebuild per
+// DefaultCompactLimit appended intervals.
+const DefaultCompactLimit = 128
 
 // gkey identifies a bucket within one collection: the (start granule,
 // end granule) pair. Collection identity is carried by the ColStore, so
@@ -34,23 +55,82 @@ type gkey struct {
 	startG, endG int
 }
 
-// bucket is one resident bucket: its interval slice (immutable) and the
-// lazily built, memoized R-tree over (start, end) points.
-type bucket struct {
-	items []interval.Interval
-	once  sync.Once
-	tree  *rtree.Tree
+// treeMemo lazily bulk-builds and memoizes one R-tree over a fixed
+// interval slice. Safe for concurrent use.
+type treeMemo struct {
+	once sync.Once
+	tree *rtree.Tree
 }
 
-// ColStore holds one collection's bucket partition. It implements the
-// per-vertex bucket source the join's local evaluation reads from.
-type ColStore struct {
-	col     int
-	gran    stats.Granulation
-	buckets map[gkey]*bucket
+// get returns the memoized tree, building it on first call. built is
+// incremented on a build, hits on a reuse.
+func (m *treeMemo) get(items []interval.Interval, built, hits *atomic.Int64) *rtree.Tree {
+	hit := true
+	m.once.Do(func() {
+		hit = false
+		m.tree = TreeOf(items)
+		built.Add(1)
+	})
+	if hit {
+		hits.Add(1)
+	}
+	return m.tree
+}
 
-	treesBuilt atomic.Int64
-	treeHits   atomic.Int64
+// bucket is one bucket as visible at one epoch. It is immutable after
+// publication: items[:sealed] is the sealed prefix covered by the base
+// tree (shared with earlier epochs until a compaction reseals the
+// bucket), items[sealed:] is the epoch's delta covered by the small
+// delta tree. Later epochs may extend the shared backing array beyond
+// len(items); the visible prefix is never rewritten.
+type bucket struct {
+	items  []interval.Interval
+	sealed int
+	base   *treeMemo // over items[:sealed]; nil iff sealed == 0
+	delta  *treeMemo // over items[sealed:]; nil iff sealed == len(items)
+}
+
+// search probes the bucket's sealed and delta trees with box, invoking
+// fn with indexes into items. fn returning false stops the probe.
+func (b *bucket) search(cs *ColStore, box rtree.Rect, fn func(ref int32) bool) {
+	if b.sealed > 0 {
+		t := b.base.get(b.items[:b.sealed], &cs.treesBuilt, &cs.treeHits)
+		if !t.Search(box, func(pt rtree.Point) bool { return fn(pt.Ref) }) {
+			return
+		}
+	}
+	if b.sealed < len(b.items) {
+		off := int32(b.sealed)
+		t := b.delta.get(b.items[b.sealed:], &cs.deltaTreesBuilt, &cs.treeHits)
+		t.Search(box, func(pt rtree.Point) bool { return fn(off + pt.Ref) })
+	}
+}
+
+// colView is one collection's immutable bucket partition at one epoch.
+type colView struct {
+	buckets map[gkey]*bucket
+	n       int // intervals visible at this epoch
+}
+
+// ColStore holds one collection's bucket partition. Its accessors
+// always serve the latest published epoch, each loading the current
+// view independently — fine for tests, diagnostics and append-free
+// use, but under concurrent Append two successive calls can observe
+// different epochs (e.g. BucketItems at epoch N, SearchBucket at N+1,
+// whose delta refs then exceed the older items slice). Query paths
+// must pin a Store.View, which serves every call from one epoch; the
+// engine does.
+type ColStore struct {
+	col  int
+	gran stats.Granulation
+	// cur is the latest published epoch view. Reads are lock-free;
+	// writes happen under the owning Store's mutex.
+	cur atomic.Pointer[colView]
+
+	treesBuilt      atomic.Int64
+	deltaTreesBuilt atomic.Int64
+	treeHits        atomic.Int64
+	compactions     atomic.Int64
 }
 
 // Col returns the collection index the store was built from.
@@ -60,36 +140,40 @@ func (cs *ColStore) Col() int { return cs.col }
 func (cs *ColStore) Granulation() stats.Granulation { return cs.gran }
 
 // NumBuckets returns the number of non-empty buckets.
-func (cs *ColStore) NumBuckets() int { return len(cs.buckets) }
+func (cs *ColStore) NumBuckets() int { return len(cs.cur.Load().buckets) }
 
-// BucketItems returns the intervals of bucket (startG, endG), in the
-// collection's original order; nil for an empty bucket.
+// BucketItems returns the intervals of bucket (startG, endG) at the
+// latest epoch, in insertion order; nil for an empty bucket.
 func (cs *ColStore) BucketItems(startG, endG int) []interval.Interval {
-	b := cs.buckets[gkey{startG, endG}]
+	b := cs.cur.Load().buckets[gkey{startG, endG}]
 	if b == nil {
 		return nil
 	}
 	return b.items
 }
 
-// BucketTree returns the memoized R-tree over bucket (startG, endG),
-// bulk-building it on first request. It returns nil for an empty
-// bucket. Safe for concurrent use.
-func (cs *ColStore) BucketTree(startG, endG int) *rtree.Tree {
-	b := cs.buckets[gkey{startG, endG}]
+// SearchBucket probes bucket (startG, endG) at the latest epoch for
+// points inside box, invoking fn with indexes into BucketItems. fn
+// returning false stops the probe. Safe for concurrent use.
+func (cs *ColStore) SearchBucket(startG, endG int, box rtree.Rect, fn func(ref int32) bool) {
+	b := cs.cur.Load().buckets[gkey{startG, endG}]
 	if b == nil {
+		return
+	}
+	b.search(cs, box, fn)
+}
+
+// BucketTree returns the memoized R-tree over the *sealed* prefix of
+// bucket (startG, endG), bulk-building it on first request, or nil for
+// an empty bucket. A bucket carrying unsealed delta intervals is not
+// fully covered by this tree — query paths must use SearchBucket, which
+// also probes the delta; BucketTree exists for tests and diagnostics.
+func (cs *ColStore) BucketTree(startG, endG int) *rtree.Tree {
+	b := cs.cur.Load().buckets[gkey{startG, endG}]
+	if b == nil || b.sealed == 0 {
 		return nil
 	}
-	hit := true
-	b.once.Do(func() {
-		hit = false
-		b.tree = TreeOf(b.items)
-		cs.treesBuilt.Add(1)
-	})
-	if hit {
-		cs.treeHits.Add(1)
-	}
-	return b.tree
+	return b.base.get(b.items[:b.sealed], &cs.treesBuilt, &cs.treeHits)
 }
 
 // TreeOf bulk-builds the R-tree over a bucket's (start, end) points,
@@ -107,34 +191,48 @@ func TreeOf(items []interval.Interval) *rtree.Tree {
 // ColStore per collection, aligned with the engine's matrices.
 type Store struct {
 	cols []*ColStore
-	// intervals is the total number of intervals partitioned at build.
-	intervals int
+
+	// mu serializes Append and makes (epoch, per-collection views) one
+	// atomic unit for View; per-collection reads through ColStore stay
+	// lock-free on the latest epoch.
+	mu           sync.RWMutex
+	epoch        int64
+	intervals    int
+	compactLimit int
 }
 
 // Build partitions each collection's intervals under its matrix's
-// granulation. It is the storage half of the offline statistics phase:
-// run once per dataset, its output serves every subsequent query.
+// granulation and seals the result as epoch 0. It is the storage half
+// of the offline statistics phase: run once per dataset, its output
+// serves every subsequent query; Append extends it without re-running
+// it.
 func Build(cols []*interval.Collection, matrices []*stats.Matrix) (*Store, error) {
 	if len(cols) != len(matrices) {
 		return nil, fmt.Errorf("store: %d collections but %d matrices", len(cols), len(matrices))
 	}
-	s := &Store{cols: make([]*ColStore, len(cols))}
+	s := &Store{cols: make([]*ColStore, len(cols)), compactLimit: DefaultCompactLimit}
 	var wg sync.WaitGroup
 	for i := range cols {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cs := &ColStore{col: i, gran: matrices[i].Gran, buckets: make(map[gkey]*bucket)}
+			cs := &ColStore{col: i, gran: matrices[i].Gran}
+			buckets := make(map[gkey]*bucket)
 			for _, iv := range cols[i].Items {
 				l, lp := cs.gran.BucketOf(iv)
 				k := gkey{l, lp}
-				b := cs.buckets[k]
+				b := buckets[k]
 				if b == nil {
 					b = &bucket{}
-					cs.buckets[k] = b
+					buckets[k] = b
 				}
 				b.items = append(b.items, iv)
 			}
+			for _, b := range buckets {
+				b.sealed = len(b.items)
+				b.base = &treeMemo{}
+			}
+			cs.cur.Store(&colView{buckets: buckets, n: cols[i].Len()})
 			s.cols[i] = cs
 		}(i)
 	}
@@ -145,34 +243,212 @@ func Build(cols []*interval.Collection, matrices []*stats.Matrix) (*Store, error
 	return s, nil
 }
 
+// SetCompactLimit tunes the per-bucket compaction threshold: a bucket
+// reseals (discarding its delta tree in favor of one lazily rebuilt
+// base tree) once its delta holds at least limit intervals, or more
+// intervals than its sealed prefix. limit <= 0 restores the default.
+// Call it between appends, not concurrently with one.
+func (s *Store) SetCompactLimit(limit int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limit <= 0 {
+		limit = DefaultCompactLimit
+	}
+	s.compactLimit = limit
+}
+
+// Append publishes a new epoch in which ivs are added to collection
+// col's buckets, and returns that epoch. Buckets untouched by the batch
+// share their memoized R-trees with the previous epoch; a touched
+// bucket keeps its sealed tree and gains a delta tree over the appended
+// suffix, unless the delta crossed the compaction threshold, in which
+// case the bucket is resealed and its tree rebuilt lazily on next use.
+// In-flight readers of earlier epochs (pinned Views) are unaffected.
+// Safe for concurrent use with all read paths; concurrent Appends
+// serialize.
+func (s *Store) Append(col int, ivs []interval.Interval) (int64, error) {
+	if col < 0 || col >= len(s.cols) {
+		return 0, fmt.Errorf("store: append to collection %d of %d", col, len(s.cols))
+	}
+	for _, iv := range ivs {
+		if !iv.Valid() {
+			return 0, fmt.Errorf("store: appending invalid interval %v", iv)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(ivs) == 0 {
+		return s.epoch, nil
+	}
+	cs := s.cols[col]
+	old := cs.cur.Load()
+
+	// Group the batch per bucket, preserving arrival order.
+	grouped := make(map[gkey][]interval.Interval)
+	for _, iv := range ivs {
+		l, lp := cs.gran.BucketOf(iv)
+		k := gkey{l, lp}
+		grouped[k] = append(grouped[k], iv)
+	}
+
+	buckets := maps.Clone(old.buckets)
+	for k, add := range grouped {
+		nb := &bucket{}
+		if ob := old.buckets[k]; ob != nil {
+			// Extending the latest epoch's slice is safe: earlier epochs
+			// hold shorter prefixes of the same array and the visible
+			// prefix is never rewritten.
+			nb.items = append(ob.items, add...)
+			nb.sealed = ob.sealed
+			nb.base = ob.base
+		} else {
+			nb.items = add
+		}
+		if deltaLen := len(nb.items) - nb.sealed; deltaLen >= s.compactLimit || deltaLen > nb.sealed {
+			// Reseal: the whole bucket is covered by one tree again,
+			// rebuilt lazily on its next probe.
+			nb.sealed = len(nb.items)
+			nb.base = &treeMemo{}
+			nb.delta = nil
+			cs.compactions.Add(1)
+		} else {
+			nb.delta = &treeMemo{}
+		}
+		buckets[k] = nb
+	}
+	s.epoch++
+	s.intervals += len(ivs)
+	cs.cur.Store(&colView{buckets: buckets, n: old.n + len(ivs)})
+	return s.epoch, nil
+}
+
+// Epoch returns the latest published epoch (0 for a freshly built or
+// restored store; each Append increments it).
+func (s *Store) Epoch() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
 // Col returns the store of collection i.
 func (s *Store) Col(i int) *ColStore { return s.cols[i] }
 
 // NumCols returns the number of collections.
 func (s *Store) NumCols() int { return len(s.cols) }
 
-// Intervals returns the total number of intervals partitioned at build.
-func (s *Store) Intervals() int { return s.intervals }
+// Intervals returns the total number of intervals visible at the latest
+// epoch.
+func (s *Store) Intervals() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.intervals
+}
+
+// View pins the latest epoch: the returned View serves exactly the
+// buckets visible now, unaffected by any Append published later. The
+// engine pins one View per query at admission, so a query never
+// observes a partial batch or mixes epochs across collections.
+func (s *Store) View() *View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := &View{epoch: s.epoch, cols: make([]*ColView, len(s.cols))}
+	for i, cs := range s.cols {
+		v.cols[i] = &ColView{cs: cs, v: cs.cur.Load()}
+	}
+	return v
+}
+
+// View is a consistent multi-collection snapshot of the store at one
+// epoch. It is immutable and safe for concurrent use.
+type View struct {
+	epoch int64
+	cols  []*ColView
+}
+
+// Epoch returns the epoch the view was pinned at.
+func (v *View) Epoch() int64 { return v.epoch }
+
+// Col returns collection i's pinned view; it implements the join's
+// bucket Source.
+func (v *View) Col(i int) *ColView { return v.cols[i] }
+
+// ColView is one collection's bucket partition pinned at one epoch.
+type ColView struct {
+	cs *ColStore
+	v  *colView
+}
+
+// Col returns the collection index.
+func (cv *ColView) Col() int { return cv.cs.col }
+
+// Intervals returns the number of intervals visible in the pinned view.
+func (cv *ColView) Intervals() int { return cv.v.n }
+
+// BucketItems returns the intervals of bucket (startG, endG) as of the
+// pinned epoch; nil for an empty bucket.
+func (cv *ColView) BucketItems(startG, endG int) []interval.Interval {
+	b := cv.v.buckets[gkey{startG, endG}]
+	if b == nil {
+		return nil
+	}
+	return b.items
+}
+
+// SearchBucket probes bucket (startG, endG) as of the pinned epoch for
+// points inside box, invoking fn with indexes into BucketItems. fn
+// returning false stops the probe. Safe for concurrent use.
+func (cv *ColView) SearchBucket(startG, endG int, box rtree.Rect, fn func(ref int32) bool) {
+	b := cv.v.buckets[gkey{startG, endG}]
+	if b == nil {
+		return
+	}
+	b.search(cv.cs, box, fn)
+}
 
 // Stats is a snapshot of the store's cumulative activity.
 type Stats struct {
 	// Buckets is the number of resident non-empty buckets.
 	Buckets int
-	// TreesBuilt counts R-trees bulk-built since Build.
+	// Epoch is the latest published epoch.
+	Epoch int64
+	// DeltaItems is the number of intervals currently living in
+	// unsealed bucket deltas (appended since the bucket's last seal).
+	DeltaItems int
+	// TreesBuilt counts sealed (base) R-trees bulk-built since Build —
+	// including rebuilds forced by compaction, and nothing else: an
+	// append grows it only for buckets whose contents changed enough to
+	// reseal.
 	TreesBuilt int64
-	// TreeHits counts memoized R-tree lookups that reused an existing
-	// tree.
+	// DeltaTreesBuilt counts the small per-epoch delta trees built over
+	// appended suffixes.
+	DeltaTreesBuilt int64
+	// TreeHits counts memoized R-tree lookups (base or delta) that
+	// reused an existing tree.
 	TreeHits int64
+	// Compactions counts bucket reseals triggered by the compaction
+	// threshold.
+	Compactions int64
 }
 
 // Snapshot returns the store's cumulative activity counters. Deltas
 // between snapshots attribute tree builds and reuses to one query.
 func (s *Store) Snapshot() Stats {
-	var st Stats
-	for _, cs := range s.cols {
-		st.Buckets += len(cs.buckets)
+	s.mu.RLock()
+	st := Stats{Epoch: s.epoch}
+	views := make([]*colView, len(s.cols))
+	for i, cs := range s.cols {
+		views[i] = cs.cur.Load()
+	}
+	s.mu.RUnlock()
+	for i, cs := range s.cols {
+		st.Buckets += len(views[i].buckets)
+		for _, b := range views[i].buckets {
+			st.DeltaItems += len(b.items) - b.sealed
+		}
 		st.TreesBuilt += cs.treesBuilt.Load()
+		st.DeltaTreesBuilt += cs.deltaTreesBuilt.Load()
 		st.TreeHits += cs.treeHits.Load()
+		st.Compactions += cs.compactions.Load()
 	}
 	return st
 }

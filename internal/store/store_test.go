@@ -139,3 +139,236 @@ func TestBuildValidation(t *testing.T) {
 		t.Error("mismatched collection/matrix counts accepted")
 	}
 }
+
+// searchAll collects every item of a bucket through SearchBucket with
+// an everything box — the probe path queries actually use.
+func searchAll(src interface {
+	BucketItems(startG, endG int) []interval.Interval
+	SearchBucket(startG, endG int, box rtree.Rect, fn func(ref int32) bool)
+}, startG, endG int) map[int64]bool {
+	items := src.BucketItems(startG, endG)
+	got := map[int64]bool{}
+	src.SearchBucket(startG, endG, rtree.Everything(), func(ref int32) bool {
+		got[items[ref].ID] = true
+		return true
+	})
+	return got
+}
+
+// Appends must publish new epochs that extend touched buckets while
+// untouched buckets keep sharing their memoized trees, and SearchBucket
+// must see base and delta items alike.
+func TestAppendEpochsAndDeltaSearch(t *testing.T) {
+	cols := synthCols(2, 200, 5)
+	s, ms := buildStore(t, cols, 4)
+	if s.Epoch() != 0 {
+		t.Fatalf("fresh store at epoch %d", s.Epoch())
+	}
+	buckets := ms[0].Buckets()
+	target, other := buckets[0], buckets[len(buckets)-1]
+	// Memoize both buckets' trees at epoch 0.
+	searchAll(s.Col(0), target.StartG, target.EndG)
+	searchAll(s.Col(0), other.StartG, other.EndG)
+	base := s.Snapshot()
+	if base.TreesBuilt == 0 || base.DeltaTreesBuilt != 0 {
+		t.Fatalf("epoch-0 stats: %+v", base)
+	}
+
+	// Append one batch landing inside the target bucket.
+	gran := ms[0].Gran
+	lo, _ := gran.Bounds(target.StartG)
+	_, hi := gran.Bounds(target.EndG)
+	add := []interval.Interval{{ID: 777001, Start: int64(lo) + 1, End: int64(hi) - 1}}
+	if l, lp := gran.BucketOf(add[0]); l != target.StartG || lp != target.EndG {
+		t.Fatal("test interval does not land in the target bucket")
+	}
+	epoch, err := s.Append(0, add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || s.Epoch() != 1 {
+		t.Fatalf("append published epoch %d (store says %d), want 1", epoch, s.Epoch())
+	}
+
+	got := searchAll(s.Col(0), target.StartG, target.EndG)
+	if !got[777001] {
+		t.Fatal("SearchBucket does not see the appended (delta) interval")
+	}
+	if len(got) != target.Count+1 {
+		t.Fatalf("bucket sees %d items, want %d", len(got), target.Count+1)
+	}
+	searchAll(s.Col(0), other.StartG, other.EndG)
+	after := s.Snapshot()
+	if after.TreesBuilt != base.TreesBuilt {
+		t.Fatalf("append rebuilt %d sealed trees; untouched buckets must keep theirs",
+			after.TreesBuilt-base.TreesBuilt)
+	}
+	if after.DeltaTreesBuilt != 1 {
+		t.Fatalf("DeltaTreesBuilt = %d, want 1 (the touched bucket)", after.DeltaTreesBuilt)
+	}
+	if after.DeltaItems != 1 {
+		t.Fatalf("DeltaItems = %d, want 1", after.DeltaItems)
+	}
+	if s.Intervals() != 401 {
+		t.Fatalf("Intervals = %d, want 401", s.Intervals())
+	}
+}
+
+// A pinned view must keep serving its epoch while appends land, and a
+// fresh view must see them — the no-partial-reads contract Execute
+// relies on.
+func TestViewPinsEpoch(t *testing.T) {
+	cols := synthCols(1, 150, 9)
+	s, ms := buildStore(t, cols, 4)
+	b := ms[0].Buckets()[0]
+	gran := ms[0].Gran
+	lo, _ := gran.Bounds(b.StartG)
+	_, hi := gran.Bounds(b.EndG)
+
+	pinned := s.View()
+	if pinned.Epoch() != 0 {
+		t.Fatalf("pinned epoch %d, want 0", pinned.Epoch())
+	}
+	add := []interval.Interval{{ID: 888001, Start: int64(lo) + 1, End: int64(hi) - 1}}
+	if _, err := s.Append(0, add); err != nil {
+		t.Fatal(err)
+	}
+	if got := searchAll(pinned.Col(0), b.StartG, b.EndG); got[888001] {
+		t.Fatal("pinned view observed an interval from a later epoch")
+	}
+	if n := len(pinned.Col(0).BucketItems(b.StartG, b.EndG)); n != b.Count {
+		t.Fatalf("pinned view bucket holds %d items, want %d", n, b.Count)
+	}
+	fresh := s.View()
+	if fresh.Epoch() != 1 {
+		t.Fatalf("fresh epoch %d, want 1", fresh.Epoch())
+	}
+	if got := searchAll(fresh.Col(0), b.StartG, b.EndG); !got[888001] {
+		t.Fatal("fresh view does not see the appended interval")
+	}
+	if pinned.Col(0).Intervals() != 150 || fresh.Col(0).Intervals() != 151 {
+		t.Fatalf("view interval counts: pinned %d, fresh %d", pinned.Col(0).Intervals(), fresh.Col(0).Intervals())
+	}
+}
+
+// Once a bucket's delta crosses the compaction threshold the bucket
+// reseals: the delta layer empties and the next probe pays exactly one
+// sealed rebuild for that bucket.
+func TestCompactionReseals(t *testing.T) {
+	cols := synthCols(1, 100, 13)
+	s, ms := buildStore(t, cols, 3)
+	s.SetCompactLimit(3)
+	b := ms[0].Buckets()[0]
+	gran := ms[0].Gran
+	lo, _ := gran.Bounds(b.StartG)
+	_, hi := gran.Bounds(b.EndG)
+	mk := func(id int64) interval.Interval {
+		return interval.Interval{ID: id, Start: int64(lo) + 1, End: int64(hi) - 1}
+	}
+	searchAll(s.Col(0), b.StartG, b.EndG) // memoize the sealed tree
+	before := s.Snapshot()
+
+	// Two single-interval appends stay in the delta layer...
+	for i := int64(0); i < 2; i++ {
+		if _, err := s.Append(0, []interval.Interval{mk(999000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+		searchAll(s.Col(0), b.StartG, b.EndG)
+	}
+	mid := s.Snapshot()
+	if mid.Compactions != before.Compactions {
+		t.Fatalf("compacted below the threshold: %+v", mid)
+	}
+	if mid.TreesBuilt != before.TreesBuilt {
+		t.Fatal("delta appends rebuilt the sealed tree")
+	}
+	// ... and the third crosses the limit and reseals.
+	if _, err := s.Append(0, []interval.Interval{mk(999002)}); err != nil {
+		t.Fatal(err)
+	}
+	sealed := s.Snapshot()
+	if sealed.Compactions != before.Compactions+1 {
+		t.Fatalf("Compactions = %d, want %d", sealed.Compactions, before.Compactions+1)
+	}
+	if sealed.DeltaItems != 0 {
+		t.Fatalf("DeltaItems = %d after compaction, want 0", sealed.DeltaItems)
+	}
+	got := searchAll(s.Col(0), b.StartG, b.EndG)
+	for i := int64(0); i < 3; i++ {
+		if !got[999000+i] {
+			t.Fatalf("post-compaction search lost appended interval %d", 999000+i)
+		}
+	}
+	if len(got) != b.Count+3 {
+		t.Fatalf("post-compaction bucket sees %d items, want %d", len(got), b.Count+3)
+	}
+	final := s.Snapshot()
+	if final.TreesBuilt != before.TreesBuilt+1 {
+		t.Fatalf("compaction rebuilt %d sealed trees, want exactly 1", final.TreesBuilt-before.TreesBuilt)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	cols := synthCols(1, 20, 21)
+	s, _ := buildStore(t, cols, 3)
+	if _, err := s.Append(1, nil); err == nil {
+		t.Error("append to a collection out of range accepted")
+	}
+	if _, err := s.Append(0, []interval.Interval{{ID: 1, Start: 5, End: 2}}); err == nil {
+		t.Error("invalid interval accepted")
+	}
+	if epoch, err := s.Append(0, nil); err != nil || epoch != 0 {
+		t.Errorf("empty append: epoch %d, err %v; want 0, nil", epoch, err)
+	}
+}
+
+// Concurrent appends and pinned-view searches must be race-free and
+// every pinned view must stay internally consistent (run under -race).
+func TestConcurrentAppendAndSearch(t *testing.T) {
+	cols := synthCols(1, 300, 33)
+	s, ms := buildStore(t, cols, 4)
+	buckets := ms[0].Buckets()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < 40; i++ {
+			iv := interval.Interval{ID: 5000000 + i, Start: 100 + i, End: 200 + i}
+			if _, err := s.Append(0, []interval.Interval{iv}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				v := s.View()
+				total := 0
+				for _, b := range buckets {
+					cnt := 0
+					v.Col(0).SearchBucket(b.StartG, b.EndG, rtree.Everything(), func(ref int32) bool {
+						cnt++
+						return true
+					})
+					if n := len(v.Col(0).BucketItems(b.StartG, b.EndG)); cnt != n {
+						t.Errorf("search visited %d of %d items", cnt, n)
+						return
+					}
+					total += cnt
+				}
+				if total < 300 {
+					t.Errorf("view lost base intervals: %d < 300", total)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	if s.Epoch() != 40 {
+		t.Fatalf("final epoch %d, want 40", s.Epoch())
+	}
+}
