@@ -34,6 +34,12 @@
 //     threshold with every other reducer, and a merge job produces the
 //     final top-k.
 //
+// Stages 3 and 4's planning halves (bound solving, pruning, reducer
+// assignment) are memoized per query shape in an epoch-keyed plan
+// cache: repeated shapes skip them on a hit, and streaming appends
+// revalidate cached plans instead of discarding them (see
+// Options.PlanCache and Report.PlanCacheHit).
+//
 // Quickstart:
 //
 //	c1 := tkij.Uniform("C1", 100000, 1)
@@ -56,6 +62,7 @@ import (
 	"tkij/internal/distribute"
 	"tkij/internal/interval"
 	"tkij/internal/join"
+	"tkij/internal/plancache"
 	"tkij/internal/query"
 	"tkij/internal/scoring"
 	"tkij/internal/snapshot"
@@ -201,6 +208,17 @@ type (
 	Strategy = topbuckets.Strategy
 	// Distribution selects the workload-assignment algorithm.
 	Distribution = distribute.Algorithm
+	// PlanCacheOptions tunes (or disables) the engine's query-plan
+	// cache: repeated query shapes skip the TopBuckets and distribution
+	// phases on a hit, and streaming appends revalidate cached plans
+	// incrementally instead of discarding them. Set it on
+	// Options.PlanCache; the zero value enables the cache with default
+	// bounds.
+	PlanCacheOptions = plancache.Options
+	// PlanCacheStats is a snapshot of plan-cache activity
+	// (Engine.PlanCacheStats): hits, revalidations, misses, evictions,
+	// and the retained solver-work cost.
+	PlanCacheStats = plancache.Stats
 )
 
 // TopBuckets strategies (§3.3).

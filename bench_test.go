@@ -107,6 +107,13 @@ func BenchmarkServing(b *testing.B) {
 	runExperiment(b, experiments.Serving)
 }
 
+// BenchmarkPlanCache drives the plan-cache experiment: cold-miss vs
+// warm-hit plan latency on repeated shapes, revalidation across append
+// epoch bumps, and the outcome mix under concurrent ingest.
+func BenchmarkPlanCache(b *testing.B) {
+	runExperiment(b, experiments.PlanCache)
+}
+
 // --- serving-path benchmarks on one warm engine ---
 
 // servingEngine builds a 3-collection engine and primes its statistics,

@@ -27,6 +27,14 @@
 // include the batch) restores base + deltas:
 //
 //	tkijrun -query Qo,m -load-stats s.tkij -append extra.tsv -append-delta C1.tsv C2.tsv C3.tsv
+//
+// Plan caching: repeated runs of one query shape are served from the
+// engine's plan cache — the TopBuckets solve and the reducer assignment
+// are skipped on a hit, and epoch bumps revalidate the cached plan
+// instead of discarding it. -append-every N re-streams the -append
+// batch before every Nth repeat run to interleave ingest with queries;
+// -no-plan-cache plans every run cold (the equivalence baseline). Each
+// run's JSON reports plan_cache: "hit" | "revalidated" | "miss".
 package main
 
 import (
@@ -41,8 +49,14 @@ import (
 
 // jsonRun is the machine-readable report of one execution.
 type jsonRun struct {
-	Run                 int     `json:"run"`
-	Epoch               int64   `json:"epoch"`
+	Run   int   `json:"run"`
+	Epoch int64 `json:"epoch"`
+	// PlanCache is how the planning phases were served: "hit" (cached
+	// plan, same epoch), "revalidated" (cached plan carried across
+	// epoch bumps), or "miss" (planned cold).
+	PlanCache           string  `json:"plan_cache"`
+	PlanMillis          float64 `json:"plan_ms"`
+	PlanSavedMillis     float64 `json:"plan_saved_ms"`
 	JoinMillis          float64 `json:"join_ms"`
 	TotalMillis         float64 `json:"total_ms"`
 	TreesBuilt          int64   `json:"trees_built"`
@@ -97,6 +111,8 @@ func main() {
 		appendSrc = flag.String("append", "", "stream this batch file's intervals into the engine (epoch-delta ingest) before querying")
 		appendCol = flag.Int("append-col", 0, "collection index the -append batch streams into")
 		appendDlt = flag.Bool("append-delta", false, "also record the -append batch as a delta section on the snapshot file (-load-stats or -save-stats path)")
+		appendEvr = flag.Int("append-every", 0, "re-stream the -append batch before every Nth repeat run (interleaves epoch bumps with queries; exercises plan-cache revalidation)")
+		noCache   = flag.Bool("no-plan-cache", false, "disable the query-plan cache: plan every execution cold")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 		verbose   = flag.Bool("v", false, "print phase metrics")
 		top       = flag.Int("print", 10, "number of results to print")
@@ -144,6 +160,7 @@ func main() {
 	}
 	opts := tkij.Options{
 		Granules: *g, K: *k, Reducers: *reducers, Strategy: strat, Distribution: alg,
+		PlanCache: tkij.PlanCacheOptions{Disabled: *noCache},
 	}
 	var engine *tkij.Engine
 	if *loadStats != "" {
@@ -179,12 +196,13 @@ func main() {
 	}
 
 	appended := 0
+	var batch *tkij.Collection
 	if *appendSrc != "" {
 		f, err := os.Open(*appendSrc)
 		if err != nil {
 			fatal(err)
 		}
-		batch, err := tkij.ReadCollection(f, *appendSrc)
+		batch, err = tkij.ReadCollection(f, *appendSrc)
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -217,6 +235,15 @@ func main() {
 
 	var report *tkij.Report
 	for run := 0; run < *repeat; run++ {
+		// Interleave ingest with the repeated runs: every Nth run first
+		// re-streams the batch, so the cached plan must be revalidated
+		// across the epoch bump rather than served verbatim.
+		if run > 0 && batch != nil && *appendEvr > 0 && run%*appendEvr == 0 {
+			if _, err := engine.Append(*appendCol, batch.Items); err != nil {
+				fatal(err)
+			}
+			appended += batch.Len()
+		}
 		report, err = engine.ExecuteMapped(q, mapping)
 		if err != nil {
 			fatal(err)
@@ -224,6 +251,9 @@ func main() {
 		jr.Runs = append(jr.Runs, jsonRun{
 			Run:                 run,
 			Epoch:               report.Epoch,
+			PlanCache:           report.PlanOutcome(),
+			PlanMillis:          millis(report.TopBucketsTime + report.DistributeTime),
+			PlanSavedMillis:     millis(report.PlanSavedTime),
 			JoinMillis:          millis(report.JoinTime),
 			TotalMillis:         millis(report.Total),
 			TreesBuilt:          report.TreesBuilt,
@@ -235,11 +265,16 @@ func main() {
 			MinKthScore:         minKth(report),
 		})
 		if !*jsonOut && *repeat > 1 {
-			fmt.Printf("run %d: %v (join %v, trees built %d, reused %d, raw shuffle %d)\n",
-				run, report.Total, report.JoinTime, report.TreesBuilt, report.TreesReused,
+			fmt.Printf("run %d: %v (plan %s %v, join %v, trees built %d, reused %d, raw shuffle %d)\n",
+				run, report.Total, report.PlanOutcome(), report.TopBucketsTime+report.DistributeTime,
+				report.JoinTime, report.TreesBuilt, report.TreesReused,
 				report.Join.RawIntervalsShuffled)
 		}
 	}
+	// Appends may have landed between runs (-append-every); report the
+	// final counts.
+	jr.Appended = appended
+	jr.Epoch = engine.Epoch()
 
 	if *jsonOut {
 		for _, r := range report.Results {

@@ -1,12 +1,3 @@
-// Package core assembles the TKIJ pipeline (Figure 5): offline
-// statistics collection, TopBuckets selection of Ω_k,S, workload
-// distribution, and the distributed join + merge phases. The Engine is
-// dataset-scoped and built for multi-query serving: statistics and the
-// dataset-resident bucket store are prepared once per dataset (the
-// paper's query-independent pre-processing, §3.2 — its cost is reported
-// separately and excluded from query evaluation time, as in §4
-// "Statistics collection") and shared by every subsequent query, which
-// may execute concurrently from multiple goroutines.
 package core
 
 import (
@@ -19,6 +10,7 @@ import (
 	"tkij/internal/interval"
 	"tkij/internal/join"
 	"tkij/internal/mapreduce"
+	"tkij/internal/plancache"
 	"tkij/internal/query"
 	"tkij/internal/snapshot"
 	"tkij/internal/stats"
@@ -50,6 +42,12 @@ type Options struct {
 	// CompactLimit is the store's per-bucket delta compaction threshold
 	// for streaming appends (0 = store.DefaultCompactLimit).
 	CompactLimit int
+	// PlanCache tunes the query-plan cache (the zero value enables it
+	// with default bounds; set PlanCache.Disabled to plan every query
+	// cold). Repeated query shapes hit the cache and skip the
+	// TopBuckets + distribution phases entirely; epoch bumps from
+	// Append revalidate cached plans incrementally.
+	PlanCache plancache.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -70,8 +68,9 @@ func (o Options) withDefaults() Options {
 // and Execute may be called from any number of goroutines once (or
 // while) it completes.
 type Engine struct {
-	opts Options
-	cols []*interval.Collection
+	opts  Options
+	cols  []*interval.Collection
+	plans *plancache.Cache
 
 	// mu single-flights the offline preparation and guards the fields
 	// below until it completes.
@@ -113,7 +112,8 @@ func NewEngine(cols []*interval.Collection, opts Options) (*Engine, error) {
 			return nil, err
 		}
 	}
-	return &Engine{opts: opts.withDefaults(), cols: cols}, nil
+	opts = opts.withDefaults()
+	return &Engine{opts: opts, cols: cols, plans: plancache.New(opts.PlanCache)}, nil
 }
 
 // OpenEngine restores a warm engine from a snapshot previously written
@@ -272,6 +272,10 @@ func (e *Engine) InvalidateStore() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.store = nil
+	// The rebuild restarts the epoch sequence at 0, and the mutation
+	// that prompted it may have shrunk buckets — both outside the plan
+	// cache's append-only revalidation model, so cached plans must go.
+	e.plans.Purge()
 }
 
 // Append routes a batch of new intervals for collection col through the
@@ -336,6 +340,13 @@ func (e *Engine) Epoch() int64 {
 	return e.store.Epoch()
 }
 
+// PlanCacheStats returns a snapshot of the engine's plan-cache
+// activity: hits, revalidations, misses, evictions, and the retained
+// solver-work cost.
+func (e *Engine) PlanCacheStats() plancache.Stats {
+	return e.plans.Stats()
+}
+
 // prepared returns the matrices, the store, and a view of the store
 // pinned at the current epoch, running the offline phase first if
 // needed. Matrices and view are captured under one critical section, so
@@ -366,14 +377,29 @@ func (e *Engine) Store() *store.Store {
 	return e.store
 }
 
-// Report describes one query execution end to end.
+// Report describes one query execution end to end. The four phase
+// durations are measured as disjoint sub-windows of Total — each phase
+// is timed around exactly one thing, nothing is counted twice — so
+// TopBucketsTime + DistributeTime + JoinTime + MergeTime never exceeds
+// Total (the remainder is per-query setup: validation, epoch pinning,
+// report assembly).
 type Report struct {
-	Query   *query.Query
+	// Query is the executed query.
+	Query *query.Query
+	// Results is the final top-k, sorted by descending score; never nil
+	// (an execution with no results yields an empty slice).
 	Results []join.Result
 
+	// TopBuckets is the pruning phase's outcome: Ω_k,S with its score
+	// bounds and the certified kthResLB floor. On a plan-cache hit it is
+	// the shared cached result — treat it as read-only.
 	TopBuckets *topbuckets.Result
+	// Assignment maps Ω_k,S onto reducers. Shared and read-only on a
+	// plan-cache hit, like TopBuckets.
 	Assignment *distribute.Assignment
-	Join       *join.Output
+	// Join is the join + merge phases' full output (per-reducer local
+	// statistics, shuffle accounting, the final shared floor).
+	Join *join.Output
 
 	// TreesBuilt and TreesReused attribute bucket-store R-tree activity
 	// to this execution (store counter deltas; under concurrent Execute
@@ -390,13 +416,50 @@ type Report struct {
 	// matter how many landed while the query ran.
 	Epoch int64
 
-	// Phase durations (query-time only; the offline statistics phase is
-	// reported on the Engine).
+	// PlanCacheHit reports that the planning phases were skipped
+	// entirely: a cached plan for this query shape at this exact epoch
+	// was served, and TopBucketsTime is just the cache lookup.
+	PlanCacheHit bool
+	// PlanRevalidated reports that a cached plan from an earlier epoch
+	// was carried forward across Append epoch bumps — promoted verbatim
+	// when no bucket the plan depends on changed shape, or patched by
+	// re-bounding only the affected combinations. TopBucketsTime is the
+	// revalidation cost.
+	PlanRevalidated bool
+	// PlanSavedTime is the wall time the original full plan cost when it
+	// was first computed — the planning work a Hit or Revalidated
+	// execution did not repeat. Zero when the plan was computed cold.
+	PlanSavedTime time.Duration
+
+	// TopBucketsTime is the wall time of phase 1 (TopBuckets pruning),
+	// or of the plan-cache lookup / revalidation that replaced it.
 	TopBucketsTime time.Duration
+	// DistributeTime is the wall time of phase 2 (reducer assignment);
+	// zero when a cached assignment was reused.
 	DistributeTime time.Duration
-	JoinTime       time.Duration
-	MergeTime      time.Duration
-	Total          time.Duration
+	// JoinTime is the wall time of the join Map-Reduce job, measured
+	// independently around the job (see join.Output.JoinDuration).
+	JoinTime time.Duration
+	// MergeTime is the wall time of the merge job, measured the same
+	// way.
+	MergeTime time.Duration
+	// Total is the end-to-end wall time of Execute after admission
+	// (query-time only; the offline statistics phase is reported on the
+	// Engine as StatsDuration).
+	Total time.Duration
+}
+
+// PlanOutcome renders how the planning phases were served — "hit",
+// "revalidated", or "miss" — in the plan cache's own terminology
+// (plancache.Outcome).
+func (r *Report) PlanOutcome() string {
+	switch {
+	case r.PlanCacheHit:
+		return plancache.Hit.String()
+	case r.PlanRevalidated:
+		return plancache.Revalidated.String()
+	}
+	return plancache.Miss.String()
 }
 
 // Imbalance returns the join phase's reduce-task imbalance
@@ -448,25 +511,35 @@ func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
 	report := &Report{Query: q, Epoch: view.Epoch()}
 	total := time.Now()
 
-	// Phase 1 (online): TopBuckets.
+	// Phases 1+2 (online): TopBuckets + workload distribution, through
+	// the plan cache. The plan is a pure function of (query shape, k,
+	// granulation, matrices epoch) — a repeated shape at an unchanged
+	// epoch skips both phases, and an epoch bump revalidates the cached
+	// plan incrementally instead of replanning from scratch.
 	tbOpts := e.opts.TopBuckets
 	tbOpts.Strategy = e.opts.Strategy
-	start := time.Now()
-	tb, err := topbuckets.Run(q, vertexMs, e.opts.K, tbOpts)
+	planned, err := e.plans.Plan(plancache.Request{
+		Query:        q,
+		Matrices:     vertexMs,
+		VertexCols:   mapping,
+		K:            e.opts.K,
+		Epoch:        view.Epoch(),
+		TopBuckets:   tbOpts,
+		Distribution: e.opts.Distribution,
+		Reducers:     e.opts.Reducers,
+	})
 	if err != nil {
 		return nil, err
 	}
+	tb := planned.TopBuckets
+	assign := planned.Assignment
 	report.TopBuckets = tb
-	report.TopBucketsTime = time.Since(start)
-
-	// Phase 2: workload distribution.
-	start = time.Now()
-	assign, err := distribute.Assign(e.opts.Distribution, tb.Selected, e.opts.Reducers)
-	if err != nil {
-		return nil, err
-	}
 	report.Assignment = assign
-	report.DistributeTime = time.Since(start)
+	report.TopBucketsTime = planned.TopBucketsTime
+	report.DistributeTime = planned.DistributeTime
+	report.PlanCacheHit = planned.Outcome == plancache.Hit
+	report.PlanRevalidated = planned.Outcome == plancache.Revalidated
+	report.PlanSavedTime = planned.SavedPlanTime
 
 	// Phase 3+4: distributed join and merge over the resident store.
 	// TopBuckets' kthResLB seeds the shared cross-reducer threshold as a

@@ -16,6 +16,7 @@ import (
 	"tkij/internal/baselines"
 	"tkij/internal/interval"
 	"tkij/internal/join"
+	"tkij/internal/plancache"
 	"tkij/internal/query"
 	"tkij/internal/scoring"
 )
@@ -130,6 +131,24 @@ func TestEngineMatchesNaiveRandomized(t *testing.T) {
 				}
 				if report.Epoch != wantEpoch {
 					t.Fatalf("%s: pinned epoch %d, want %d", stage, report.Epoch, wantEpoch)
+				}
+				// Cached-plan vs cold-plan equivalence: a fresh engine over
+				// the current data, with the plan cache disabled, must
+				// return the same top-k the (possibly hit or revalidated)
+				// cached plan produced.
+				coldOpts := e.Options()
+				coldOpts.PlanCache = plancache.Options{Disabled: true}
+				coldEngine, err := NewEngine(cols, coldOpts)
+				if err != nil {
+					t.Fatalf("%s: cold engine: %v", stage, err)
+				}
+				coldReport, err := coldEngine.Execute(q)
+				if err != nil {
+					t.Fatalf("%s: cold engine: %v", stage, err)
+				}
+				if !join.ScoreMultisetEqual(report.Results, coldReport.Results, 1e-9) {
+					t.Fatalf("%s: cached-plan top-%d diverged from a cold plan on %s\ncached: %v\ncold:   %v",
+						stage, k, q.Name, scoresOf(report.Results), scoresOf(coldReport.Results))
 				}
 				// Memberships, not just scores: every returned tuple must
 				// actually score what it claims under the query.

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tkij/internal/baselines"
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/plancache"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+)
+
+// TestPlanCacheHitSkipsPlanning: a repeated query shape is served from
+// the plan cache (skipping the TopBuckets solve and the assignment),
+// returns the identical answer, and reports the outcome.
+func TestPlanCacheHitSkipsPlanning(t *testing.T) {
+	cols := synthCols(3, 40, 21)
+	q := query.Qom(query.Env{Params: scoring.P1})
+	e, err := NewEngine(cols, Options{Granules: 8, K: 10, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PlanCacheHit || cold.PlanRevalidated {
+		t.Fatalf("first execution reported hit=%t revalidated=%t", cold.PlanCacheHit, cold.PlanRevalidated)
+	}
+	warm, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.PlanCacheHit {
+		t.Fatal("repeated shape at an unchanged epoch was not a cache hit")
+	}
+	if warm.PlanSavedTime <= 0 {
+		t.Fatal("hit did not report the planning time it saved")
+	}
+	if warm.DistributeTime != 0 {
+		t.Fatalf("hit re-ran distribution (%v)", warm.DistributeTime)
+	}
+	if warm.TopBuckets != cold.TopBuckets || warm.Assignment != cold.Assignment {
+		t.Fatal("hit did not reuse the cached plan objects")
+	}
+	if !join.ScoreMultisetEqual(warm.Results, cold.Results, 1e-9) {
+		t.Fatal("cached execution diverged from the cold one")
+	}
+	st := e.PlanCacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestPlanCacheIsomorphicShapesShareEntry: a query with relabeled
+// vertices and reordered edges (and the execution mapping permuted
+// along) hits the entry planned for the original.
+func TestPlanCacheIsomorphicShapesShareEntry(t *testing.T) {
+	cols := synthCols(2, 40, 22)
+	q1, err := query.New("orig", 2, []query.Edge{
+		{From: 0, To: 1, Pred: scoring.Meets(scoring.P1)},
+	}, scoring.Avg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relabeled: vertex 0<->1 swapped, so the edge reverses and vertex
+	// v now reads collection 1-v.
+	q2, err := query.New("relabeled", 2, []query.Edge{
+		{From: 1, To: 0, Pred: scoring.Meets(scoring.P1)},
+	}, scoring.Avg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cols, Options{Granules: 6, K: 8, Reducers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Execute(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.ExecuteMapped(q2, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.PlanCacheHit {
+		t.Fatal("isomorphic relabeled shape missed the cache")
+	}
+	if !join.ScoreMultisetEqual(r1.Results, r2.Results, 1e-9) {
+		t.Fatal("isomorphic shapes returned different top-k score multisets")
+	}
+}
+
+// TestPlanCacheAcrossAppends: epoch bumps revalidate cached plans, and
+// the revalidated plan's answers stay exact against the naive oracle —
+// including out-of-range appends that widen the boundary granules.
+func TestPlanCacheAcrossAppends(t *testing.T) {
+	cols := synthCols(3, 45, 23)
+	q := query.Qbb(query.Env{Params: scoring.P1})
+	const k = 9
+	e, err := NewEngine(cols, Options{Granules: 6, K: k, Reducers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+
+	batches := [][]interval.Interval{
+		// Interior appends into existing territory: pure promotion.
+		{{ID: 9001, Start: 100, End: 140}, {ID: 9002, Start: 900, End: 960}},
+		// Far out of range: clamps into boundary granules, widens the
+		// grid, forces the incremental re-bound (or a full re-plan).
+		{{ID: 9003, Start: -8000, End: -7000}, {ID: 9004, Start: 9000, End: 9800}},
+	}
+	for bi, batch := range batches {
+		if _, err := e.Append(bi%2, batch); err != nil {
+			t.Fatal(err)
+		}
+		report, err := e.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.PlanCacheHit {
+			t.Fatalf("batch %d: post-append execution reported a plain hit", bi)
+		}
+		want, err := baselines.Naive(q, cols, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !join.ScoreMultisetEqual(report.Results, want, 1e-9) {
+			t.Fatalf("batch %d: cached-plan engine diverged from the naive oracle", bi)
+		}
+	}
+	if st := e.PlanCacheStats(); st.Revalidations == 0 {
+		t.Fatalf("no revalidations recorded across appends: %+v", st)
+	}
+}
+
+// TestPlanCacheDisabledEquivalence: with the cache disabled every
+// execution plans cold, and the answers match the cached engine's.
+func TestPlanCacheDisabledEquivalence(t *testing.T) {
+	cols := synthCols(3, 35, 24)
+	q := query.Qsm(query.Env{Params: scoring.P2})
+	opts := Options{Granules: 7, K: 10, Reducers: 4}
+	cached, err := NewEngine(cols, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsOff := opts
+	optsOff.PlanCache = plancache.Options{Disabled: true}
+	cold, err := NewEngine(cols, optsOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rc, err := cached.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := cold.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.PlanCacheHit || rd.PlanRevalidated {
+			t.Fatal("disabled cache served a cached plan")
+		}
+		if !join.ScoreMultisetEqual(rc.Results, rd.Results, 1e-9) {
+			t.Fatalf("run %d: cached vs cold top-k diverged", i)
+		}
+	}
+	if st := cold.PlanCacheStats(); st.Entries != 0 {
+		t.Fatalf("disabled cache retained entries: %+v", st)
+	}
+}
+
+// TestReportPhaseTimingsSumWithinTotal is the double-counting
+// regression test: on every path — cold, cache hit, revalidated — the
+// four phase durations are disjoint sub-windows of Total, so their sum
+// can never exceed it (a sum above Total means some wall time was
+// attributed to two phases at once). A small absolute slack absorbs
+// clock granularity.
+func TestReportPhaseTimingsSumWithinTotal(t *testing.T) {
+	const slack = time.Millisecond
+	cols := synthCols(3, 40, 25)
+	q := query.Qom(query.Env{Params: scoring.P1})
+	e, err := NewEngine(cols, Options{Granules: 8, K: 10, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport := func(stage string, r *Report) {
+		t.Helper()
+		sum := r.TopBucketsTime + r.DistributeTime + r.JoinTime + r.MergeTime
+		if sum > r.Total+slack {
+			t.Fatalf("%s: phase sum %v exceeds total %v (double-counted phase time)", stage, sum, r.Total)
+		}
+		for name, d := range map[string]time.Duration{
+			"TopBucketsTime": r.TopBucketsTime, "DistributeTime": r.DistributeTime,
+			"JoinTime": r.JoinTime, "MergeTime": r.MergeTime, "Total": r.Total,
+		} {
+			if d < 0 {
+				t.Fatalf("%s: negative %s %v", stage, name, d)
+			}
+		}
+	}
+
+	cold, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport("cold", cold)
+
+	hit, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.PlanCacheHit {
+		t.Fatal("second run was not a hit")
+	}
+	checkReport("hit", hit)
+
+	if _, err := e.Append(0, []interval.Interval{{ID: 9100, Start: 50, End: 70}}); err != nil {
+		t.Fatal(err)
+	}
+	reval, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport("revalidated", reval)
+}
+
+// TestInvalidateStorePurgesPlanCache: the epoch sequence reset must not
+// leave plans keyed against the dead sequence.
+func TestInvalidateStorePurgesPlanCache(t *testing.T) {
+	cols := synthCols(3, 30, 26)
+	q := query.Qbb(query.Env{Params: scoring.P1})
+	e, err := NewEngine(cols, Options{Granules: 5, K: 6, Reducers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.PlanCacheStats(); st.Entries != 1 {
+		t.Fatalf("expected 1 cached plan, have %+v", st)
+	}
+	e.InvalidateStore()
+	if st := e.PlanCacheStats(); st.Entries != 0 {
+		t.Fatalf("InvalidateStore left cached plans: %+v", st)
+	}
+	report, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.PlanCacheHit || report.PlanRevalidated {
+		t.Fatal("post-invalidate execution served a purged plan")
+	}
+}

@@ -1,16 +1,3 @@
-// Package distribute implements TKIJ's workload-assignment phase (§3.4):
-// mapping the selected bucket combinations Ω_k,S onto reducers. The
-// primary algorithm is DistributeTopBuckets (DTB, Algorithms 3 and 4),
-// which hands out combinations in descending score-upper-bound order so
-// every reducer receives a fair share of high-scoring results (enabling
-// early termination of local top-k processing), discards reducers that
-// already hold twice the average result load (worst-case balance), and
-// breaks ties toward the reducer already holding the largest share of
-// the combination's buckets (replication / shuffle-input cost).
-//
-// The package also provides the two comparison assignments used in the
-// evaluation: LPT (§4.2.2), the longest-processing-time scheduling
-// heuristic that ignores scores, and a plain round-robin ablation.
 package distribute
 
 import (

@@ -1,0 +1,28 @@
+// Package distribute implements TKIJ's workload-assignment phase (§3.4
+// of the paper): mapping the selected bucket combinations Ω_k,S onto
+// reducers.
+//
+// The primary algorithm is DistributeTopBuckets (DTB, Algorithms 3 and
+// 4), which hands out combinations in descending score-upper-bound
+// order so every reducer receives a fair share of high-scoring results
+// (enabling early termination of local top-k processing), discards
+// reducers that already hold twice the average result load (worst-case
+// balance), and breaks ties toward the reducer already holding the
+// largest share of the combination's buckets (replication /
+// shuffle-input cost — the I/O DTB minimizes, surfaced as
+// Assignment.ReplicatedRecords).
+//
+// The package also provides the two comparison assignments used in the
+// evaluation: LPT (§4.2.2), the longest-processing-time scheduling
+// heuristic that ignores scores, and a plain round-robin ablation.
+//
+// An Assignment is immutable once returned: the join phase only reads
+// it, and the plan cache (internal/plancache) shares one Assignment
+// across every execution that hits the same cached plan — reusing the
+// assignment is what lets a cache hit skip this phase entirely.
+// Assignments reference combinations by index into the Ω_k,S slice they
+// were built from and buckets by their vertex-scoped BucketKey, so an
+// assignment stays valid as long as that slice's order and bucket
+// identities do (counts may grow under streaming appends; the balance
+// targets were computed from the counts at assignment time).
+package distribute

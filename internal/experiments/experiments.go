@@ -194,6 +194,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"serving", Serving},
 		{"restart", Restart},
 		{"ingest", Ingest},
+		{"plancache", PlanCache},
 	}
 	var all []*Table
 	for _, r := range runners {
@@ -211,20 +212,21 @@ func All(cfg Config) ([]*Table, error) {
 // ("fig8" matches fig8a/b/c).
 func ByID(id string, cfg Config) ([]*Table, error) {
 	drivers := map[string]func(Config) ([]*Table, error){
-		"stats":    StatsCollection,
-		"fig7":     Fig7ScoreDistribution,
-		"fig8":     Fig8Workload,
-		"fig9":     Fig9Strategies,
-		"fig10":    Fig10Granules,
-		"fig11":    Fig11Scalability,
-		"sec4.2.6": EffectOfKSynthetic,
-		"fig12":    Fig12DataDistribution,
-		"fig13":    Fig13TrafficScalability,
-		"fig14":    Fig14TrafficEffectOfK,
-		"ablation": Ablations,
-		"serving":  Serving,
-		"restart":  Restart,
-		"ingest":   Ingest,
+		"stats":     StatsCollection,
+		"fig7":      Fig7ScoreDistribution,
+		"fig8":      Fig8Workload,
+		"fig9":      Fig9Strategies,
+		"fig10":     Fig10Granules,
+		"fig11":     Fig11Scalability,
+		"sec4.2.6":  EffectOfKSynthetic,
+		"fig12":     Fig12DataDistribution,
+		"fig13":     Fig13TrafficScalability,
+		"fig14":     Fig14TrafficEffectOfK,
+		"ablation":  Ablations,
+		"serving":   Serving,
+		"restart":   Restart,
+		"ingest":    Ingest,
+		"plancache": PlanCache,
 	}
 	fn, ok := drivers[id]
 	if !ok {

@@ -30,6 +30,7 @@ func TestAllDriversAtTinyScale(t *testing.T) {
 		{"fig13", Fig13TrafficScalability, 1},
 		{"fig14", Fig14TrafficEffectOfK, 1},
 		{"ablation", Ablations, 1},
+		{"plancache", PlanCache, 3},
 	}
 	for _, d := range drivers {
 		d := d

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tkij/internal/core"
+	"tkij/internal/datagen"
+	"tkij/internal/distribute"
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+	"tkij/internal/topbuckets"
+)
+
+// PlanCache measures the query-plan cache (beyond the paper, toward
+// the serving north-star): the planning phases — the TopBuckets bound
+// solve and the reducer assignment — are a pure function of (query
+// shape, k, granulation, matrices epoch), so repeated shapes are served
+// from the cache. The experiment reports the plan-phase latency of a
+// cold miss vs a warm hit on one engine, the revalidation cost of
+// carrying a cached plan across streaming-append epoch bumps (both the
+// cheap promotion of untouched plans and the incremental re-bound after
+// boundary-widening out-of-range appends), and the outcome mix under
+// repeated queries with concurrent ingest.
+func PlanCache(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.size(20000)
+	k := cfg.k(100)
+	const g = 40 // paper default: big enough that planning is the dominant query-time phase
+	cols := []*interval.Collection{
+		datagen.Uniform("C1", n, 61), datagen.Uniform("C2", n, 62), datagen.Uniform("C3", n, 63),
+	}
+	engine, err := engineFor(cols, g, k, topbuckets.Loose, distribute.AlgDTB, cfg, join.LocalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.PrepareStats(); err != nil {
+		return nil, err
+	}
+
+	env := query.Env{Params: scoring.P1}
+	queries := queriesByName(env, "Qb,b", "Qo,m", "Qs,m")
+
+	outcome := func(r *core.Report) string { return r.PlanOutcome() }
+	plan := func(r *core.Report) time.Duration { return r.TopBucketsTime + r.DistributeTime }
+
+	t1 := &Table{
+		ID:      "plancache",
+		Title:   fmt.Sprintf("Plan cache on repeated query shapes (|Ci|=%d, k=%d, g=%d)", n, k, g),
+		Columns: []string{"query", "run", "outcome", "plan(ms)", "saved(ms)", "total(ms)", "hit-speedup"},
+		Note:    "plan(ms) = TopBuckets + distribute phases; hit-speedup = miss plan time / this run's plan time",
+	}
+	for _, q := range queries {
+		var missPlan time.Duration
+		for run := 0; run < 3; run++ {
+			report, err := engine.Execute(q)
+			if err != nil {
+				return nil, err
+			}
+			if run == 0 {
+				missPlan = plan(report)
+			}
+			speedup := "1.00"
+			if p := plan(report); p > 0 && run > 0 {
+				speedup = f2(float64(missPlan) / float64(p))
+			}
+			t1.Rows = append(t1.Rows, []string{
+				q.Name, fmt.Sprintf("%d", run), outcome(report),
+				ms(plan(report)), ms(report.PlanSavedTime), ms(report.Total), speedup,
+			})
+		}
+		cfg.logf("  plancache %s done", q.Name)
+	}
+
+	// Revalidation across epoch bumps: an in-range batch (untouched
+	// granule boxes -> cheap promotion), then a far out-of-range batch
+	// (clamped into the boundary granules, widening them -> incremental
+	// re-bound of the affected combinations, or a full re-plan when the
+	// floor no longer certifies).
+	t2 := &Table{
+		ID:      "plancache-revalidate",
+		Title:   "Carrying cached plans across streaming-append epoch bumps",
+		Columns: []string{"append", "query", "outcome", "plan(ms)", "total(ms)"},
+		Note:    "in-range appends promote plans verbatim; out-of-range appends force re-bounding the boundary region",
+	}
+	batches := []struct {
+		label string
+		ivs   []interval.Interval
+	}{
+		{"in-range", datagen.UniformRange("b1", n/100+1, 71, datagen.UniformStartMax, 1, 100).Items},
+		{"out-of-range", shiftIntervals(datagen.UniformRange("b2", n/100+1, 72, datagen.UniformStartMax, 1, 100).Items, 3*datagen.UniformStartMax)},
+	}
+	for _, b := range batches {
+		if _, err := engine.Append(0, b.ivs); err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			report, err := engine.Execute(q)
+			if err != nil {
+				return nil, err
+			}
+			t2.Rows = append(t2.Rows, []string{
+				b.label, q.Name, outcome(report), ms(plan(report)), ms(report.Total),
+			})
+		}
+	}
+	cfg.logf("  plancache revalidation done")
+
+	// Repeated shapes under concurrent ingest: one goroutine per query
+	// loops while an appender streams batches; tally outcomes and
+	// per-outcome plan latency.
+	t3 := &Table{
+		ID:      "plancache-ingest",
+		Title:   "Plan-cache outcomes under repeated queries with concurrent ingest",
+		Columns: []string{"outcome", "count", "avg-plan(ms)"},
+		Note:    "per-query goroutines racing an appender; every answer is epoch-consistent regardless of outcome",
+	}
+	const rounds, appendBatches = 6, 4
+	var (
+		mu        sync.Mutex
+		tally     = map[string]int{}
+		planSums  = map[string]time.Duration{}
+		errs      []error
+		wg        sync.WaitGroup
+		appendErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < appendBatches; i++ {
+			batch := datagen.UniformRange("cc", n/200+1, int64(80+i), datagen.UniformStartMax, 1, 100).Items
+			if _, err := engine.Append(i%len(cols), batch); err != nil {
+				appendErr = err
+				return
+			}
+		}
+	}()
+	for _, q := range queries {
+		wg.Add(1)
+		go func(q *query.Query) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				report, err := engine.Execute(q)
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				o := outcome(report)
+				tally[o]++
+				planSums[o] += plan(report)
+				mu.Unlock()
+			}
+		}(q)
+	}
+	wg.Wait()
+	if appendErr != nil {
+		return nil, appendErr
+	}
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	for _, o := range []string{"hit", "revalidated", "miss"} {
+		if tally[o] == 0 {
+			t3.Rows = append(t3.Rows, []string{o, "0", "-"})
+			continue
+		}
+		t3.Rows = append(t3.Rows, []string{
+			o, fmt.Sprintf("%d", tally[o]),
+			ms(planSums[o] / time.Duration(tally[o])),
+		})
+	}
+	st := engine.PlanCacheStats()
+	t3.Note += fmt.Sprintf("; cache totals: %d hits, %d revalidations, %d misses, %d entries",
+		st.Hits, st.Revalidations, st.Misses, st.Entries)
+	return []*Table{t1, t2, t3}, nil
+}
+
+// shiftIntervals offsets a batch far past the original granulation
+// range, so every endpoint clamps into the last granule and widens it.
+func shiftIntervals(ivs []interval.Interval, offset int64) []interval.Interval {
+	out := make([]interval.Interval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = interval.Interval{ID: iv.ID + 1_000_000, Start: iv.Start + offset, End: iv.End + offset}
+	}
+	return out
+}

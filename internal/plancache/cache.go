@@ -1,0 +1,372 @@
+package plancache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"tkij/internal/distribute"
+	"tkij/internal/query"
+	"tkij/internal/stats"
+	"tkij/internal/topbuckets"
+)
+
+// DefaultMaxCost is the default retention bound: the total solver-work
+// cost (pair + tight solver calls across all entries) the cache may
+// hold. At the paper's g = 40 one loose two-edge plan costs ~1.3M pair
+// calls, so the default retains a healthy handful of heavyweight plans
+// (or thousands of small ones) before LRU eviction starts.
+const DefaultMaxCost = 16 << 20
+
+// DefaultMaxAffected is the default bound on the affected-combination
+// region revalidation will patch incrementally; a bigger region means
+// the appends reshaped the combination space enough that a full re-plan
+// is both safer and usually cheaper.
+const DefaultMaxAffected = 1 << 16
+
+// Options configures a Cache. The zero value is an enabled cache with
+// the default bounds.
+type Options struct {
+	// Disabled turns the cache off: every Plan call computes a cold
+	// plan and stores nothing. The pipeline behaves exactly as if the
+	// cache did not exist (the equivalence baseline).
+	Disabled bool
+	// MaxCost bounds the total solver-work cost of retained entries
+	// (<= 0 means DefaultMaxCost). Eviction is LRU; the most recently
+	// inserted entry is never evicted, so a single plan larger than
+	// MaxCost still caches (alone).
+	MaxCost float64
+	// MaxAffected bounds how many affected combinations an epoch
+	// revalidation will re-bound incrementally before falling back to a
+	// full re-plan (<= 0 means DefaultMaxAffected).
+	MaxAffected float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCost <= 0 {
+		o.MaxCost = DefaultMaxCost
+	}
+	if o.MaxAffected <= 0 {
+		o.MaxAffected = DefaultMaxAffected
+	}
+	return o
+}
+
+// Outcome classifies how a Plan call was served.
+type Outcome int
+
+const (
+	// Miss: a full plan was computed (no entry, unusable entry, or the
+	// cache is disabled).
+	Miss Outcome = iota
+	// Hit: the cached plan was served as-is (entry epoch == query epoch).
+	Hit
+	// Revalidated: the entry was carried across one or more epoch bumps —
+	// promoted unchanged when no bucket the plan depends on was touched,
+	// or patched by re-bounding just the affected combinations.
+	Revalidated
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Revalidated:
+		return "revalidated"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Request carries one execution's planning inputs. Matrices are the
+// per-vertex bucket matrices pinned by the engine for this query (so
+// they are consistent with Epoch even under concurrent appends);
+// VertexCols maps each vertex to its collection index.
+type Request struct {
+	Query      *query.Query
+	Matrices   []*stats.Matrix
+	VertexCols []int
+	K          int
+	Epoch      int64
+
+	TopBuckets   topbuckets.Options
+	Distribution distribute.Algorithm
+	Reducers     int
+}
+
+// Planned is the outcome of Cache.Plan: a TopBuckets result and reducer
+// assignment ready for the join phase. Both must be treated as
+// read-only — on a Hit they are shared with every other query of the
+// same shape.
+type Planned struct {
+	TopBuckets *topbuckets.Result
+	Assignment *distribute.Assignment
+	Outcome    Outcome
+	// TopBucketsTime and DistributeTime are the wall time this call
+	// actually spent in each planning phase: the full phase cost on a
+	// Miss, the lookup / revalidation cost on a Hit / Revalidated. They
+	// are disjoint (never double-counted), so a caller timing the whole
+	// Plan call can attribute its window to the two phases exactly.
+	TopBucketsTime time.Duration
+	DistributeTime time.Duration
+	// SavedPlanTime is, on a Hit or Revalidated outcome, the wall time
+	// the original full plan cost when it was first computed — the
+	// planning work this call did not repeat. Zero on a Miss.
+	SavedPlanTime time.Duration
+}
+
+// Stats is a snapshot of cache activity.
+type Stats struct {
+	Hits          int64
+	Revalidations int64
+	Misses        int64
+	Evictions     int64
+	Entries       int
+	// Cost is the total retained solver-work cost (bounded by
+	// Options.MaxCost).
+	Cost float64
+}
+
+// vertexState is the per-vertex matrix fingerprint an entry was planned
+// against; revalidation diffs it against the current matrices to find
+// the affected buckets.
+type vertexState struct {
+	grid    stats.Grid
+	buckets map[[2]int]bool // non-empty (startG, endG) cells at plan time
+}
+
+// entry is one cached plan. All fields are immutable after insertion —
+// revalidation replaces the entry rather than mutating it, so readers
+// holding a plan across an epoch bump are unaffected.
+type entry struct {
+	key   string
+	epoch int64
+	// labeling is the canonical labeling of the query the plan is
+	// expressed in; an isomorphic query with a different labeling gets
+	// the plan translated through the composed permutation (see
+	// translatePlan).
+	labeling []int
+	tb       *topbuckets.Result
+	assign   *distribute.Assignment
+	planTime time.Duration // original full-plan wall time
+	cost     float64
+	vstates  []vertexState
+	el       *list.Element
+}
+
+// Cache is a bounded, epoch-aware plan cache. Safe for concurrent use;
+// concurrent misses on one key plan independently and the last insert
+// wins (planning is deterministic, so the entries are interchangeable).
+type Cache struct {
+	opts Options
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+	cost    float64
+	stats   Stats
+}
+
+// New returns a cache with the given options.
+func New(opts Options) *Cache {
+	return &Cache{
+		opts:    opts.withDefaults(),
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Plan serves a planning request: from the cache when an entry matches
+// Request's canonical key at (or revalidatably below) its epoch,
+// otherwise by running TopBuckets + distribution and caching the
+// result.
+func (c *Cache) Plan(req Request) (*Planned, error) {
+	if c == nil || c.opts.Disabled {
+		p, _, err := fullPlan(req)
+		return p, err
+	}
+	lookupStart := time.Now()
+	key, labeling := Canonicalize(req.Query, req.VertexCols, req.K, granulations(req.Matrices))
+
+	c.mu.Lock()
+	e := c.entries[key]
+	switch {
+	case e == nil:
+		c.stats.Misses++
+	case e.epoch == req.Epoch:
+		c.lru.MoveToFront(e.el)
+		c.stats.Hits++
+		c.mu.Unlock()
+		tb, assign := translatePlan(e.tb, e.assign, sigmaFor(e.labeling, labeling))
+		return &Planned{
+			TopBuckets:     tb,
+			Assignment:     assign,
+			Outcome:        Hit,
+			TopBucketsTime: time.Since(lookupStart),
+			SavedPlanTime:  e.planTime,
+		}, nil
+	case e.epoch > req.Epoch:
+		// The entry outran this query's pinned epoch (an append landed
+		// between pinning and lookup, and a sibling query already
+		// revalidated). Its floor may be certified by intervals this
+		// query cannot see — plan cold and leave the newer entry alone.
+		c.stats.Misses++
+		c.mu.Unlock()
+		p, _, err := fullPlan(req)
+		return p, err
+	}
+	c.mu.Unlock()
+
+	if e != nil {
+		// Entry is behind req.Epoch: revalidate outside the lock (the
+		// entry is immutable; we only read it).
+		if ne, planned := c.revalidate(e, req, labeling); ne != nil {
+			c.insert(ne, true)
+			return planned, nil
+		}
+		// Revalidation declined (floor no longer certified, affected
+		// region too large, ...) — fall through to a full re-plan,
+		// which replaces the stale entry, and count the call as the
+		// miss it effectively was.
+		c.mu.Lock()
+		c.stats.Misses++
+		c.mu.Unlock()
+	}
+
+	planned, ne, err := fullPlan(req)
+	if err != nil {
+		return nil, err
+	}
+	ne.key, ne.labeling = key, labeling
+	c.insert(ne, false)
+	return planned, nil
+}
+
+// insert stores a fresh entry, replacing any same-key predecessor, and
+// evicts LRU entries past the cost bound. revalidated selects the stats
+// counter.
+func (c *Cache) insert(ne *entry, revalidated bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if revalidated {
+		c.stats.Revalidations++
+	}
+	if old := c.entries[ne.key]; old != nil {
+		if old.epoch > ne.epoch {
+			// A sibling pinned at a later epoch already planned or
+			// promoted further; keep the newer plan.
+			return
+		}
+		c.cost -= old.cost
+		c.lru.Remove(old.el)
+	}
+	ne.el = c.lru.PushFront(ne)
+	c.entries[ne.key] = ne
+	c.cost += ne.cost
+	for c.cost > c.opts.MaxCost && c.lru.Len() > 1 {
+		victim := c.lru.Back().Value.(*entry)
+		c.lru.Remove(victim.el)
+		delete(c.entries, victim.key)
+		c.cost -= victim.cost
+		c.stats.Evictions++
+	}
+}
+
+// Purge drops every entry. The engine calls it when the epoch sequence
+// resets (InvalidateStore rebuilds the store at epoch 0 — entry epochs
+// would otherwise compare against an unrelated sequence) and after
+// destructive updates the append-only revalidation model cannot
+// express.
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*entry)
+	c.lru.Init()
+	c.cost = 0
+}
+
+// Stats returns a snapshot of cache activity.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Cost = c.cost
+	return s
+}
+
+// fullPlan runs the two planning phases cold and packages both the
+// caller-facing result and a cache entry (epoch, fingerprints, cost).
+func fullPlan(req Request) (*Planned, *entry, error) {
+	tbStart := time.Now()
+	tb, err := topbuckets.Run(req.Query, req.Matrices, req.K, req.TopBuckets)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbTime := time.Since(tbStart)
+	dStart := time.Now()
+	assign, err := distribute.Assign(req.Distribution, tb.Selected, req.Reducers)
+	if err != nil {
+		return nil, nil, err
+	}
+	dTime := time.Since(dStart)
+
+	e := &entry{
+		epoch:    req.Epoch,
+		tb:       tb,
+		assign:   assign,
+		planTime: tbTime + dTime,
+		cost:     planCost(tb),
+		vstates:  fingerprint(req.Matrices),
+	}
+	return &Planned{
+		TopBuckets:     tb,
+		Assignment:     assign,
+		Outcome:        Miss,
+		TopBucketsTime: tbTime,
+		DistributeTime: dTime,
+	}, e, nil
+}
+
+// planCost is the solver-work cost of a plan — the retention currency
+// of the cache. Selected combinations are counted too so even a plan
+// whose bounds were all table lookups has nonzero weight.
+func planCost(tb *topbuckets.Result) float64 {
+	cost := float64(tb.PairSolverCalls+tb.TightSolverCalls) + float64(len(tb.Selected))
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
+}
+
+// fingerprint captures each vertex matrix's grid and non-empty bucket
+// set — what revalidation diffs against a later epoch.
+func fingerprint(matrices []*stats.Matrix) []vertexState {
+	vs := make([]vertexState, len(matrices))
+	for v, m := range matrices {
+		set := make(map[[2]int]bool)
+		for _, b := range m.Buckets() {
+			set[[2]int{b.StartG, b.EndG}] = true
+		}
+		vs[v] = vertexState{grid: m.Grid(), buckets: set}
+	}
+	return vs
+}
+
+// granulations projects the per-vertex granulation signatures.
+func granulations(matrices []*stats.Matrix) []stats.Granulation {
+	gs := make([]stats.Granulation, len(matrices))
+	for i, m := range matrices {
+		gs[i] = m.Gran
+	}
+	return gs
+}

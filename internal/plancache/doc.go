@@ -1,0 +1,55 @@
+// Package plancache memoizes TKIJ's query-planning phase for repeated
+// query shapes.
+//
+// In the paper's pipeline (Figure 5), everything that runs at query
+// time before the join — solving per-combination score bounds, pruning
+// the combination space to the Top Buckets set Ω_k,S (Algorithm 1/2),
+// and assigning the survivors to reducers (DistributeTopBuckets,
+// Algorithms 3/4) — is a pure function of the query *shape* (graph
+// structure and predicates), k, the granulation, and the bucket
+// matrices. It never reads the stored intervals themselves. Serving
+// workloads repeat shapes constantly (the same dashboard query, the
+// same alert rule), so the cache keys a finished plan — Ω_k,S with its
+// bound certificates (LB/UB per combination, the certified kthResLB
+// floor) plus the reducer assignment — by a canonical plan key and the
+// matrices epoch, and Execute reuses it for the cost of a map lookup.
+//
+// Canonical key. Key normalizes the query shape up to node relabeling
+// and edge reordering: two queries that differ only by a vertex
+// permutation (with the collection mapping permuted along) and the
+// order edges are listed in produce the same key. k, the granulation
+// signature, and the per-vertex collection identities are part of the
+// key, so plans never alias across different result sizes, grids, or
+// datasets.
+//
+// Epoch invalidation and revalidation. The store's append-only epochs
+// (internal/store) give invalidation for free: a cached plan is exact
+// while the epoch is unchanged. On an epoch bump the entry is not
+// dropped but revalidated against the current matrices, exploiting
+// that appends only ever grow bucket counts and widen the two boundary
+// granules (stats.Grid):
+//
+//   - Combinations whose buckets all kept their granule boxes keep
+//     their bounds — a box that did not change bounds the same scores.
+//   - Bounds are recomputed only for combinations touching an
+//     *affected* bucket: one that newly became non-empty, or one lying
+//     in a boundary granule that out-of-range appends widened.
+//   - Selection re-runs over the cached combinations plus the affected
+//     region, and the entry is promoted to the new epoch only if the
+//     new kthResLB still dominates the old one — that inequality is
+//     what keeps every never-enumerated pruned combination certifiably
+//     below the floor. Otherwise (or when the affected region exceeds
+//     Options.MaxAffected) the cache falls back to a full re-plan.
+//
+// Retention is bounded by solver-work cost, not entry count: each
+// entry's cost is the bound-solving work it embodies (pair and tight
+// solver calls), and least-recently-used entries are evicted once the
+// total exceeds Options.MaxCost — so one giant brute-force plan
+// cannot silently pin hundreds of megabytes while a thousand trivial
+// plans thrash.
+//
+// The cache is safe for concurrent use. Cached plans are immutable:
+// revalidation builds fresh entries, and callers must treat the
+// returned TopBuckets result and Assignment as read-only (the join
+// phase does).
+package plancache

@@ -1,0 +1,229 @@
+package plancache
+
+import (
+	"time"
+
+	"tkij/internal/distribute"
+	"tkij/internal/stats"
+	"tkij/internal/topbuckets"
+)
+
+// revalidate carries entry e (planned at an earlier epoch) to
+// req.Epoch, returning a fresh entry and the caller-facing plan — or
+// (nil, nil) to demand a full re-plan. It exploits the append-only
+// epoch model: between e's epoch and now, bucket counts only grew, the
+// non-empty bucket set only grew, and granule boxes changed only at the
+// two boundary granules stats.Grid widens for out-of-range appends.
+//
+// Soundness argument, in terms of the Definition-2 certificate (a
+// threshold t such that the selected set carries >= k results with
+// LB >= t and every unselected combination has UB <= t):
+//
+//   - A combination touching no affected bucket kept all its granule
+//     boxes, so its cached LB/UB still bound its (grown) contents.
+//   - Every combination touching an affected bucket is re-bounded with
+//     the tight solver over current boxes: the cached selected ones in
+//     place, the previously pruned ones by enumerating exactly the
+//     affected region (first-affected-position decomposition — nothing
+//     outside it changed).
+//   - Selection re-runs over cached ∪ affected with refreshed counts,
+//     yielding a new certified floor t'. Unselected combinations inside
+//     that candidate set have UB <= t' by the selection invariant;
+//     unenumerated pruned combinations still satisfy UB <= t_old — so
+//     the plan is promoted only when t' >= t_old, which extends the
+//     certificate to them. Otherwise the entry is abandoned to a full
+//     re-plan (always safe, and rare: appends grow counts, which pushes
+//     thresholds up, not down — only boundary-granule widening can
+//     lower a cover LB).
+func (c *Cache) revalidate(e *entry, req Request, reqLabeling []int) (*entry, *Planned) {
+	start := time.Now()
+
+	type vertexDiff struct {
+		widenLo, widenHi bool
+		isNew            func(b stats.Bucket) bool
+	}
+	n := len(req.Matrices)
+	if n != len(e.vstates) {
+		return nil, nil
+	}
+	// The entry may be expressed in an isomorphic query's labeling;
+	// sigma maps request vertices onto entry vertices (nil = identity).
+	sigma := sigmaFor(e.labeling, reqLabeling)
+	entryVertex := func(v int) int {
+		if sigma == nil {
+			return v
+		}
+		return sigma[v]
+	}
+	diffs := make([]vertexDiff, n)
+	lists := make([][]stats.Bucket, n)
+	anyAffected := false
+	for v, m := range req.Matrices {
+		old := e.vstates[entryVertex(v)]
+		grid := m.Grid()
+		if grid.Gran != old.grid.Gran {
+			return nil, nil // granulation swap: not an append-only transition
+		}
+		d := vertexDiff{
+			widenLo: grid.Lo < old.grid.Lo,
+			widenHi: grid.Hi > old.grid.Hi,
+		}
+		oldSet := old.buckets
+		d.isNew = func(b stats.Bucket) bool { return !oldSet[[2]int{b.StartG, b.EndG}] }
+		lists[v] = m.Buckets()
+		if d.widenLo || d.widenHi {
+			anyAffected = true
+		} else {
+			for _, b := range lists[v] {
+				if d.isNew(b) {
+					anyAffected = true
+					break
+				}
+			}
+		}
+		diffs[v] = d
+	}
+
+	if !anyAffected {
+		// Pure promotion: no bucket the plan's bounds depend on changed
+		// shape. Grown counts only strengthen the kthResLB certificate
+		// (more results at or above the floor), so plan, bounds, floor
+		// and assignment all carry over verbatim — the entry keeps its
+		// own labeling, the caller gets the plan translated into its.
+		ne := &entry{
+			key: e.key, epoch: req.Epoch, labeling: e.labeling,
+			tb: e.tb, assign: e.assign,
+			planTime: e.planTime, cost: e.cost, vstates: e.vstates,
+		}
+		tb, assign := translatePlan(e.tb, e.assign, sigma)
+		return ne, &Planned{
+			TopBuckets:     tb,
+			Assignment:     assign,
+			Outcome:        Revalidated,
+			TopBucketsTime: time.Since(start),
+			SavedPlanTime:  e.planTime,
+		}
+	}
+
+	affected := func(v int, b stats.Bucket) bool {
+		d := diffs[v]
+		if d.isNew(b) {
+			return true
+		}
+		lastG := req.Matrices[v].Gran.G - 1
+		if d.widenLo && (b.StartG == 0 || b.EndG == 0) {
+			return true
+		}
+		if d.widenHi && (b.StartG == lastG || b.EndG == lastG) {
+			return true
+		}
+		return false
+	}
+	if topbuckets.CountAffected(lists, affected) > c.opts.MaxAffected {
+		return nil, nil
+	}
+
+	// Candidate set: the cached selected combinations — translated into
+	// the request's labeling and with refreshed counts (deep-copied;
+	// entries are immutable and may be serving other queries right
+	// now) ...
+	sel := make([]topbuckets.Combo, len(e.tb.Selected))
+	seen := make(map[string]bool, len(sel))
+	var dirty []int
+	for i, old := range e.tb.Selected {
+		cb := old
+		cb.Buckets = make([]stats.Bucket, len(old.Buckets))
+		cb.NbRes = 1
+		for v := range cb.Buckets {
+			b := old.Buckets[entryVertex(v)]
+			b.Col = v
+			b.Count = req.Matrices[v].Count(b.StartG, b.EndG)
+			cb.Buckets[v] = b
+			cb.NbRes *= float64(b.Count)
+		}
+		sel[i] = cb
+		seen[cb.Key()] = true
+		if cb.Touches(affected) {
+			dirty = append(dirty, i)
+		}
+	}
+	// ... plus the previously pruned combinations inside the affected
+	// region (anything with at least one new or boundary-widened
+	// bucket; their old UB <= t_old no longer binds).
+	var fresh []topbuckets.Combo
+	_ = topbuckets.EnumerateAffected(lists, affected, func(buckets []stats.Bucket) error {
+		cb := topbuckets.Combo{Buckets: append([]stats.Bucket(nil), buckets...), NbRes: 1}
+		for _, b := range cb.Buckets {
+			cb.NbRes *= float64(b.Count)
+		}
+		if !seen[cb.Key()] {
+			fresh = append(fresh, cb)
+		}
+		return nil
+	})
+
+	// Re-bound everything the epoch transition touched with the tight
+	// solver over current (widened) boxes. Tight bounds are valid for
+	// any strategy's selection — bounds only need to be safe, and
+	// tighter bounds can only improve the certificate.
+	scratch := make([]topbuckets.Combo, len(dirty))
+	for i, idx := range dirty {
+		scratch[i] = sel[idx]
+	}
+	topbuckets.TightenBounds(req.Query, req.Matrices, scratch, req.TopBuckets)
+	for i, idx := range dirty {
+		sel[idx] = scratch[i]
+	}
+	topbuckets.TightenBounds(req.Query, req.Matrices, fresh, req.TopBuckets)
+
+	candidates := append(sel, fresh...)
+	newSel, newT := topbuckets.SelectWithThreshold(req.K, candidates)
+	if newT < e.tb.KthResLB {
+		// The recomputed floor no longer certifies the old prune: some
+		// cover combination's LB fell when its boundary granule widened.
+		// The never-enumerated pruned combinations are only certified
+		// below t_old, so serving newT < t_old could prune true results.
+		return nil, nil
+	}
+
+	totalCombos, totalResults := 1.0, 1.0
+	for v, list := range lists {
+		totalCombos *= float64(len(list))
+		totalResults *= float64(req.Matrices[v].Total())
+	}
+	tb := &topbuckets.Result{
+		Selected:         newSel,
+		TotalCombos:      totalCombos,
+		TotalResults:     totalResults,
+		PairSolverCalls:  e.tb.PairSolverCalls,
+		TightSolverCalls: e.tb.TightSolverCalls + len(dirty) + len(fresh),
+		KthResLB:         newT,
+	}
+	for _, cb := range newSel {
+		tb.SelectedResults += cb.NbRes
+	}
+	tbTime := time.Since(start)
+
+	dStart := time.Now()
+	assign, err := distribute.Assign(req.Distribution, newSel, req.Reducers)
+	if err != nil {
+		return nil, nil
+	}
+	tb.Total = tbTime
+
+	ne := &entry{
+		key: e.key, epoch: req.Epoch, labeling: reqLabeling,
+		tb: tb, assign: assign,
+		planTime: e.planTime,
+		cost:     e.cost + float64(len(dirty)+len(fresh)),
+		vstates:  fingerprint(req.Matrices),
+	}
+	return ne, &Planned{
+		TopBuckets:     tb,
+		Assignment:     assign,
+		Outcome:        Revalidated,
+		TopBucketsTime: tbTime,
+		DistributeTime: time.Since(dStart),
+		SavedPlanTime:  e.planTime,
+	}
+}

@@ -156,14 +156,37 @@ func (h *nodeHeap) Pop() interface{} {
 	return n
 }
 
+// Cert is the certificate attached to a bound computation: how much
+// branch-and-bound work produced it and whether the search converged
+// within Eps or was truncated by the node budget. Bounds are *safe*
+// either way (UB >= max, LB <= min); a non-converged certificate only
+// means they may be looser than Eps. Plan caches use the certificate to
+// account the solver work an entry embodies (its retention cost) and to
+// attribute revalidation work.
+type Cert struct {
+	// Nodes is the number of boxes branch-and-bound opened across both
+	// optimizations (maximize + minimize).
+	Nodes int
+	// Converged reports whether both searches closed their bound gap
+	// below Eps before hitting MaxNodes.
+	Converged bool
+}
+
 // QueryBounds solves the Bounds Problem: the tight lower and upper bound
 // of the query's aggregate score when each vertex's endpoints range over
 // its bucket box. Safe even when the node budget truncates the search.
 func QueryBounds(q *query.Query, boxes []VertexBox, opts Options) (lb, ub float64) {
-	opts = opts.withDefaults()
-	ub = optimize(q, boxes, opts, true)
-	lb = optimize(q, boxes, opts, false)
+	lb, ub, _ = QueryBoundsCert(q, boxes, opts)
 	return lb, ub
+}
+
+// QueryBoundsCert is QueryBounds additionally returning the work
+// certificate of the two optimizations.
+func QueryBoundsCert(q *query.Query, boxes []VertexBox, opts Options) (lb, ub float64, cert Cert) {
+	opts = opts.withDefaults()
+	ub, upNodes, upConv := optimize(q, boxes, opts, true)
+	lb, loNodes, loConv := optimize(q, boxes, opts, false)
+	return lb, ub, Cert{Nodes: upNodes + loNodes, Converged: upConv && loConv}
 }
 
 // PredicateBounds returns bounds for a single scored predicate over an
@@ -190,8 +213,10 @@ func PredicateBounds(pred *scoring.Predicate, x, y VertexBox, opts Options) (lb,
 
 // optimize runs best-first branch-and-bound. maximize=true returns a
 // value >= the true maximum (within Eps when converged); maximize=false
-// returns a value <= the true minimum.
-func optimize(q *query.Query, boxes []VertexBox, opts Options, maximize bool) float64 {
+// returns a value <= the true minimum. It also reports the number of
+// nodes opened and whether the search converged within Eps (false only
+// when the node budget cut it short).
+func optimize(q *query.Query, boxes []VertexBox, opts Options, maximize bool) (float64, int, bool) {
 	sign := 1.0
 	if !maximize {
 		sign = -1
@@ -225,7 +250,7 @@ func optimize(q *query.Query, boxes []VertexBox, opts Options, maximize bool) fl
 		if top.bound <= incumbent+opts.Eps || nodes >= opts.MaxNodes {
 			// top.bound dominates every open node (max-heap) and pruned
 			// children are tracked separately: this is a safe outer bound.
-			return sign * maxf(top.bound, pruned)
+			return sign * maxf(top.bound, pruned), nodes, nodes < opts.MaxNodes
 		}
 		nodes++
 		// Branch on the widest variable.
@@ -263,7 +288,7 @@ func optimize(q *query.Query, boxes []VertexBox, opts Options, maximize bool) fl
 			}
 		}
 	}
-	return sign * maxf(incumbent, pruned)
+	return sign * maxf(incumbent, pruned), nodes, true
 }
 
 func maxf(a, b float64) float64 {

@@ -1,11 +1,3 @@
-// Package topbuckets implements TKIJ's online pruning phase (§3.3): it
-// enumerates bucket combinations, computes their score bounds with the
-// solver, and selects the Top Buckets set Ω_k,S — a subset of the search
-// space guaranteed to contain the exact top-k results (Definition 2).
-// The three strategies of Algorithm 2 are provided: brute-force (tight
-// bounds on every combination), loose (per-edge pair bounds aggregated
-// through the monotone scoring function) and two-phase (loose pruning
-// followed by tight refinement).
 package topbuckets
 
 import (
@@ -42,6 +34,96 @@ func (c *Combo) key() string {
 		k = append(k, byte(b.Col), byte(b.StartG>>8), byte(b.StartG), byte(b.EndG>>8), byte(b.EndG), '|')
 	}
 	return string(k)
+}
+
+// Key returns the combination's comparable identity — the bucket tuple
+// without counts or bounds. The plan cache uses it to match a
+// combination across epochs (counts grow, bounds may be recomputed, the
+// identity stays).
+func (c *Combo) Key() string { return c.key() }
+
+// Touches reports whether any of the combination's buckets satisfies
+// affected(vertex, bucket) — the per-combination touched-bucket test
+// revalidation uses to decide which cached bounds must be recomputed
+// after an epoch bump (buckets that gained intervals, or boundary
+// granules widened by out-of-range appends).
+func (c *Combo) Touches(affected func(v int, b stats.Bucket) bool) bool {
+	for v, b := range c.Buckets {
+		if affected(v, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountAffected returns the number of combinations in the cartesian
+// product of bucketLists that contain at least one affected bucket —
+// |Ω| − |Ω restricted to unaffected buckets| — without enumerating
+// them. Revalidation uses it to bounce to a full re-plan when the
+// affected region is too large to patch incrementally.
+func CountAffected(bucketLists [][]stats.Bucket, affected func(v int, b stats.Bucket) bool) float64 {
+	total, clean := 1.0, 1.0
+	for v, list := range bucketLists {
+		nClean := 0
+		for _, b := range list {
+			if !affected(v, b) {
+				nClean++
+			}
+		}
+		total *= float64(len(list))
+		clean *= float64(nClean)
+	}
+	return total - clean
+}
+
+// EnumerateAffected walks exactly the combinations of the cartesian
+// product that contain at least one affected bucket, in deterministic
+// order, invoking fn for each bucket tuple. The decomposition is by
+// first affected position: for every vertex v, it enumerates
+// (unaffected_0 × ... × unaffected_{v-1}) × affected_v × (full_{v+1} ×
+// ... × full_{n-1}), which partitions the affected region with no
+// duplicates. Like enumerate, the buckets slice passed to fn is reused
+// across calls; fn must copy it to retain it.
+func EnumerateAffected(bucketLists [][]stats.Bucket, affected func(v int, b stats.Bucket) bool, fn func(buckets []stats.Bucket) error) error {
+	n := len(bucketLists)
+	cleanLists := make([][]stats.Bucket, n)
+	dirtyLists := make([][]stats.Bucket, n)
+	for v, list := range bucketLists {
+		for _, b := range list {
+			if affected(v, b) {
+				dirtyLists[v] = append(dirtyLists[v], b)
+			} else {
+				cleanLists[v] = append(cleanLists[v], b)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if len(dirtyLists[v]) == 0 {
+			continue
+		}
+		sub := make([][]stats.Bucket, n)
+		empty := false
+		for w := 0; w < n; w++ {
+			switch {
+			case w < v:
+				sub[w] = cleanLists[w]
+			case w == v:
+				sub[w] = dirtyLists[w]
+			default:
+				sub[w] = bucketLists[w]
+			}
+			if len(sub[w]) == 0 {
+				empty = true
+			}
+		}
+		if empty {
+			continue
+		}
+		if err := enumerate(sub, fn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // boxesFor converts a combination's buckets into solver vertex boxes.

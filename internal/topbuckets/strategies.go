@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tkij/internal/query"
@@ -317,7 +318,7 @@ func runLoose(q *query.Query, matrices []*stats.Matrix, lists [][]stats.Bucket, 
 		if float64(len(selected)) > opts.MaxCombos {
 			return nil, fmt.Errorf("topbuckets: two-phase refinement over %d combinations exceeds MaxCombos %g", len(selected), opts.MaxCombos)
 		}
-		tightenBounds(q, matrices, selected, opts)
+		TightenBounds(q, matrices, selected, opts)
 		res.TightSolverCalls = len(selected)
 		selected, res.KthResLB = SelectWithThreshold(k, selected)
 		res.RefinePhase = time.Since(refineStart)
@@ -351,7 +352,7 @@ func runBruteForce(q *query.Query, matrices []*stats.Matrix, lists [][]stats.Buc
 		res.TotalResults += c.NbRes
 	}
 	refineStart := time.Now()
-	tightenBounds(q, matrices, combos, opts)
+	TightenBounds(q, matrices, combos, opts)
 	res.TightSolverCalls = len(combos)
 	res.RefinePhase = time.Since(refineStart)
 
@@ -364,9 +365,16 @@ func runBruteForce(q *query.Query, matrices []*stats.Matrix, lists [][]stats.Buc
 	return res, nil
 }
 
-// tightenBounds recomputes tight solver bounds in place, in parallel.
-func tightenBounds(q *query.Query, matrices []*stats.Matrix, combos []Combo, opts Options) {
+// TightenBounds recomputes tight solver bounds for every combination in
+// place, in parallel, and returns the total branch-and-bound nodes
+// opened (the solver-work certificate of the recomputation). It is the
+// second phase of the two-phase strategy, the whole of brute-force —
+// and the unit of work plan-cache revalidation applies to the
+// combinations an epoch bump touched.
+func TightenBounds(q *query.Query, matrices []*stats.Matrix, combos []Combo, opts Options) int {
+	opts = opts.withDefaults()
 	var wg sync.WaitGroup
+	var nodes atomic.Int64
 	chunk := (len(combos) + opts.Workers - 1) / opts.Workers
 	for w := 0; w < opts.Workers; w++ {
 		lo := w * chunk
@@ -380,11 +388,16 @@ func tightenBounds(q *query.Query, matrices []*stats.Matrix, combos []Combo, opt
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			local := 0
 			for i := lo; i < hi; i++ {
 				boxes := boxesFor(matrices, combos[i].Buckets)
-				combos[i].LB, combos[i].UB = solver.QueryBounds(q, boxes, opts.TightSolver)
+				var cert solver.Cert
+				combos[i].LB, combos[i].UB, cert = solver.QueryBoundsCert(q, boxes, opts.TightSolver)
+				local += cert.Nodes
 			}
+			nodes.Add(int64(local))
 		}(lo, hi)
 	}
 	wg.Wait()
+	return int(nodes.Load())
 }
