@@ -49,15 +49,21 @@
 //	q, err := tkij.NewQuery("meets", 2,
 //		[]tkij.Edge{{From: 0, To: 1, Pred: tkij.Meets(tkij.P1)}}, tkij.Avg{})
 //	if err != nil { ... }
-//	report, err := engine.Execute(q)
+//	report, err := engine.Execute(context.Background(), q)
 //	for _, r := range report.Results {
 //		fmt.Println(r.Score, r.Tuple)
 //	}
+//
+// For heavy concurrent traffic, wrap the engine in a Server: Submit
+// calls are coalesced into short batching windows, each batch executes
+// against one pinned epoch, and queries sharing a shape share one
+// TopBuckets solve and one cross-reducer score floor (see NewServer).
 package tkij
 
 import (
 	"io"
 
+	"tkij/internal/admission"
 	"tkij/internal/core"
 	"tkij/internal/distribute"
 	"tkij/internal/interval"
@@ -234,6 +240,40 @@ const (
 	LPT        = distribute.AlgLPT
 	RoundRobin = distribute.AlgRoundRobin
 )
+
+// Serving. A Server is the admission and batching layer over one
+// engine: concurrent Submit calls are grouped into short batching
+// windows, each batch runs against a single pinned epoch view, plans
+// are single-flighted per query shape, and batch members share score
+// floors and bound memos. Batched execution is result-identical to
+// calling Engine.Execute sequentially at the same epoch.
+type (
+	// Server admits and batches concurrent queries over one Engine.
+	Server = admission.Batcher
+	// ServerOptions tunes the batching policy: window, batch size,
+	// queue depth (backpressure), in-flight batch cap (which also
+	// bounds live epoch views under ingest), and per-batch parallelism.
+	// The zero value uses sensible defaults.
+	ServerOptions = admission.Options
+	// ServerStats is a snapshot of a Server's admission activity.
+	ServerStats = admission.Stats
+)
+
+// Serving errors: ErrServerClosed is returned by Submit after Close;
+// ErrQueueFull is the backpressure signal (queue at capacity, query
+// rejected without waiting). ErrCanceled marks executions aborted by
+// their context, whether queued or between phases.
+var (
+	ErrServerClosed = admission.ErrClosed
+	ErrQueueFull    = admission.ErrQueueFull
+	ErrCanceled     = core.ErrCanceled
+)
+
+// NewServer returns a running Server over engine. Close it to stop
+// admission and flush queued queries.
+func NewServer(engine *Engine, opts ServerOptions) *Server {
+	return admission.New(engine, opts)
+}
 
 // NewEngine validates the collections and returns an engine.
 func NewEngine(cols []*Collection, opts Options) (*Engine, error) {

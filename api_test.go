@@ -2,7 +2,10 @@ package tkij
 
 import (
 	"bytes"
+	"context"
+	"sync"
 	"testing"
+	"time"
 )
 
 // The public API must carry a user through the full quickstart flow.
@@ -17,7 +20,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := engine.Execute(q)
+	report, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +78,7 @@ func TestPublicAPITrafficPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := engine.ExecuteMapped(q, []int{0, 0, 0})
+	report, err := engine.ExecuteMapped(context.Background(), q, []int{0, 0, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,5 +96,62 @@ func TestStrategyAndDistributionConstants(t *testing.T) {
 	}
 	if LPT.String() != "LPT" || RoundRobin.String() != "RoundRobin" {
 		t.Error("distribution constants broken")
+	}
+}
+
+// The public serving surface: a Server batches concurrent Submits and
+// returns reports identical to direct execution.
+func TestPublicAPIServer(t *testing.T) {
+	c1 := Uniform("C1", 400, 1)
+	c2 := Uniform("C2", 400, 2)
+	engine, err := NewEngine([]*Collection{c1, c2}, Options{K: 10, Granules: 8, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuery("meets", 2, []Edge{{From: 0, To: 1, Pred: Meets(P1)}}, Avg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(engine, ServerOptions{Window: 10 * time.Millisecond})
+	defer server.Close()
+
+	const n = 6
+	reports := make([]*Report, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := server.Submit(context.Background(), q, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reports[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	direct, err := engine.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reports {
+		if !r.Batched {
+			t.Fatalf("report %d not batched", i)
+		}
+		if len(r.Results) != len(direct.Results) {
+			t.Fatalf("report %d has %d results, direct execution %d", i, len(r.Results), len(direct.Results))
+		}
+		for j := range r.Results {
+			if r.Results[j].Score != direct.Results[j].Score {
+				t.Fatalf("report %d result %d score %g != direct %g", i, j, r.Results[j].Score, direct.Results[j].Score)
+			}
+		}
+	}
+	if st := server.Stats(); st.Submitted != n {
+		t.Fatalf("server stats submitted = %d, want %d", st.Submitted, n)
 	}
 }

@@ -7,7 +7,9 @@ package tkij
 // records paper-vs-measured shapes.
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"tkij/internal/experiments"
 	"tkij/internal/interval"
@@ -127,7 +129,7 @@ func servingEngine(b *testing.B, q *Query) *Engine {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cold, err := engine.Execute(q)
+	cold, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -152,7 +154,7 @@ func BenchmarkRepeatedQuery(b *testing.B) {
 	b.ResetTimer()
 	var rebuilt, raw int64
 	for i := 0; i < b.N; i++ {
-		report, err := engine.Execute(q)
+		report, err := engine.Execute(context.Background(), q)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,13 +189,51 @@ func BenchmarkConcurrentQueries(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			if _, err := engine.Execute(queries[i%len(queries)]); err != nil {
+			if _, err := engine.Execute(context.Background(), queries[i%len(queries)]); err != nil {
 				b.Error(err)
 				return
 			}
 			i++
 		}
 	})
+}
+
+// BenchmarkBatchedQueries measures throughput through the admission/
+// batching layer: many goroutines submitting repeated shapes to one
+// Server, coalesced into batches that share a pinned epoch, a
+// single-flighted plan, a cross-query score floor and a bound memo.
+// Compare with BenchmarkConcurrentQueries, the direct-execution
+// equivalent of the same workload.
+func BenchmarkBatchedQueries(b *testing.B) {
+	env := QueryEnv{Params: P1}
+	names := []string{"Qb,b", "Qo,m", "Qs,m"}
+	queries := make([]*Query, len(names))
+	for i, n := range names {
+		q, err := QueryByName(n, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries[i] = q
+	}
+	engine := servingEngine(b, queries[0])
+	server := NewServer(engine, ServerOptions{Window: 500 * time.Microsecond})
+	defer server.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := server.Submit(context.Background(), queries[i%len(queries)], nil); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	st := server.Stats()
+	if st.Batches > 0 {
+		b.ReportMetric(float64(st.Submitted)/float64(st.Batches), "queries/batch")
+	}
 }
 
 // --- micro-benchmarks of the hot paths ---
@@ -247,7 +287,7 @@ func BenchmarkAppendThenQuery(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < 2; i++ { // cold + warm: memoize the query's trees
-		if _, err := engine.Execute(q); err != nil {
+		if _, err := engine.Execute(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -266,7 +306,7 @@ func BenchmarkAppendThenQuery(b *testing.B) {
 		if _, err := engine.Append(i%len(cols), batch); err != nil {
 			b.Fatal(err)
 		}
-		report, err := engine.Execute(q)
+		report, err := engine.Execute(context.Background(), q)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -286,10 +326,10 @@ func BenchmarkAppendThenQuery(b *testing.B) {
 	// memoized trees, so re-running the query right after the loop builds
 	// nothing (sealed builds during the loop are compaction reseals or
 	// first-time lazy builds of newly selected buckets, both one-off).
-	if _, err := engine.Execute(q); err != nil {
+	if _, err := engine.Execute(context.Background(), q); err != nil {
 		b.Fatal(err)
 	}
-	again, err := engine.Execute(q)
+	again, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -302,11 +342,11 @@ func BenchmarkAppendThenQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	want, err := cold.Execute(q)
+	want, err := cold.Execute(context.Background(), q)
 	if err != nil {
 		b.Fatal(err)
 	}
-	got, err := engine.Execute(q)
+	got, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -334,7 +374,7 @@ func BenchmarkEndToEndQuery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.Execute(q); err != nil {
+		if _, err := engine.Execute(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}

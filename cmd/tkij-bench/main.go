@@ -11,18 +11,23 @@
 //	tkij-bench -exp restart        # snapshot save/restore vs. cold build
 //	tkij-bench -exp ingest         # streaming appends via epoch-based bucket deltas
 //	tkij-bench -exp plancache      # plan cache: hit/revalidate/miss latency
+//	tkij-bench -exp admission      # admission batching: QPS vs unbatched, bounded epochs
 //
 // Experiments: stats fig7 fig8 fig9 fig10 fig11 sec4.2.6 fig12 fig13
-// fig14 ablation serving restart ingest plancache all. The serving,
-// restart, ingest and plancache experiments go beyond the paper:
-// serving measures the dataset-resident bucket store's repeated-query
-// and concurrent-query paths on one warm engine; restart measures
-// restoring the offline phase from a snapshot file instead of
-// recomputing it; ingest measures streaming appends (per-batch latency,
-// delta-tree accounting, compaction cost, queries under concurrent
-// ingest); plancache measures the query-plan cache (cold-miss vs
-// warm-hit plan latency, revalidation across append epoch bumps, and
-// the outcome mix under concurrent ingest).
+// fig14 ablation serving restart ingest plancache admission all. The
+// serving, restart, ingest, plancache and admission experiments go
+// beyond the paper: serving measures the dataset-resident bucket
+// store's repeated-query and concurrent-query paths on one warm engine;
+// restart measures restoring the offline phase from a snapshot file
+// instead of recomputing it; ingest measures streaming appends
+// (per-batch latency, delta-tree accounting, compaction cost, queries
+// under concurrent ingest); plancache measures the query-plan cache
+// (cold-miss vs warm-hit plan latency, revalidation across append epoch
+// bumps, and the outcome mix under concurrent ingest); admission
+// measures the batching layer (aggregate throughput and queue wait vs
+// unbatched execution at varying concurrency and window sizes, shared
+// vs private cross-query floors, and the bounded live-epoch-view count
+// under continuous ingest).
 package main
 
 import (
@@ -35,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig7..fig14, stats, sec4.2.6, ablation, serving, restart, ingest, plancache, all)")
+		exp      = flag.String("exp", "all", "experiment id (fig7..fig14, stats, sec4.2.6, ablation, serving, restart, ingest, plancache, admission, all)")
 		scale    = flag.Float64("scale", 1, "dataset scale multiplier")
 		reducers = flag.Int("reducers", 24, "reduce tasks")
 		quiet    = flag.Bool("q", false, "suppress progress logging")

@@ -35,13 +35,24 @@
 // batch before every Nth repeat run to interleave ingest with queries;
 // -no-plan-cache plans every run cold (the equivalence baseline). Each
 // run's JSON reports plan_cache: "hit" | "revalidated" | "miss".
+//
+// Concurrent serving: -concurrency N routes each repeat round through
+// the admission/batching layer — N copies of the query are submitted at
+// once, coalesced into batches that share one pinned epoch, one
+// TopBuckets solve and one score floor. -batch-window D tunes the
+// batching window. Each run's JSON then carries batch (the size of the
+// batch the query rode) and queue_ms (admission-to-execution wait):
+//
+//	tkijrun -query Qo,m -concurrency 8 -batch-window 2ms -repeat 3 -json C1.tsv C2.tsv C3.tsv
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"tkij"
@@ -65,6 +76,11 @@ type jsonRun struct {
 	RoutedIntervals     float64 `json:"routed_interval_records"`
 	RawShuffled         int64   `json:"raw_intervals_shuffled"`
 	SharedFloor         float64 `json:"shared_floor"`
+	// Batch is the number of queries in the batch this run rode through
+	// the admission layer (0 for direct, unbatched execution); QueueMillis
+	// is the admission-to-execution wait inside the batcher.
+	Batch       int     `json:"batch"`
+	QueueMillis float64 `json:"queue_ms"`
 	// MinKthScore is the minimum k-th local score across reducers that
 	// returned results (0 when none did; never NaN).
 	MinKthScore float64 `json:"min_kth_score"`
@@ -113,6 +129,8 @@ func main() {
 		appendDlt = flag.Bool("append-delta", false, "also record the -append batch as a delta section on the snapshot file (-load-stats or -save-stats path)")
 		appendEvr = flag.Int("append-every", 0, "re-stream the -append batch before every Nth repeat run (interleaves epoch bumps with queries; exercises plan-cache revalidation)")
 		noCache   = flag.Bool("no-plan-cache", false, "disable the query-plan cache: plan every execution cold")
+		conc      = flag.Int("concurrency", 1, "submit N copies of the query concurrently per repeat round through the admission/batching layer (1 = direct execution)")
+		batchWin  = flag.Duration("batch-window", time.Millisecond, "admission batching window (with -concurrency > 1)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 		verbose   = flag.Bool("v", false, "print phase metrics")
 		top       = flag.Int("print", 10, "number of results to print")
@@ -233,7 +251,43 @@ func main() {
 		PrepMillis: millis(engine.StatsDuration), Restored: engine.Restored(),
 		Appended: appended, Epoch: engine.Epoch()}
 
+	// With -concurrency > 1, every repeat round submits N copies of the
+	// query at once through the admission/batching layer; they coalesce
+	// into batches sharing one pinned epoch, plan and score floor.
+	var server *tkij.Server
+	if *conc > 1 {
+		server = tkij.NewServer(engine, tkij.ServerOptions{Window: *batchWin})
+		defer server.Close()
+	}
+	runOnce := func() []*tkij.Report {
+		if server == nil {
+			r, err := engine.ExecuteMapped(context.Background(), q, mapping)
+			if err != nil {
+				fatal(err)
+			}
+			return []*tkij.Report{r}
+		}
+		reports := make([]*tkij.Report, *conc)
+		errs := make([]error, *conc)
+		var wg sync.WaitGroup
+		for i := 0; i < *conc; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				reports[i], errs[i] = server.Submit(context.Background(), q, mapping)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				fatal(err)
+			}
+		}
+		return reports
+	}
+
 	var report *tkij.Report
+	seq := 0
 	for run := 0; run < *repeat; run++ {
 		// Interleave ingest with the repeated runs: every Nth run first
 		// re-streams the batch, so the cached plan must be revalidated
@@ -244,31 +298,32 @@ func main() {
 			}
 			appended += batch.Len()
 		}
-		report, err = engine.ExecuteMapped(q, mapping)
-		if err != nil {
-			fatal(err)
-		}
-		jr.Runs = append(jr.Runs, jsonRun{
-			Run:                 run,
-			Epoch:               report.Epoch,
-			PlanCache:           report.PlanOutcome(),
-			PlanMillis:          millis(report.TopBucketsTime + report.DistributeTime),
-			PlanSavedMillis:     millis(report.PlanSavedTime),
-			JoinMillis:          millis(report.JoinTime),
-			TotalMillis:         millis(report.Total),
-			TreesBuilt:          report.TreesBuilt,
-			TreesReused:         report.TreesReused,
-			RoutedBucketEntries: report.Join.RoutedBucketEntries,
-			RoutedIntervals:     report.Join.RoutedIntervalRecords,
-			RawShuffled:         report.Join.RawIntervalsShuffled,
-			SharedFloor:         report.Join.SharedFloor,
-			MinKthScore:         minKth(report),
-		})
-		if !*jsonOut && *repeat > 1 {
-			fmt.Printf("run %d: %v (plan %s %v, join %v, trees built %d, reused %d, raw shuffle %d)\n",
-				run, report.Total, report.PlanOutcome(), report.TopBucketsTime+report.DistributeTime,
-				report.JoinTime, report.TreesBuilt, report.TreesReused,
-				report.Join.RawIntervalsShuffled)
+		for _, report = range runOnce() {
+			jr.Runs = append(jr.Runs, jsonRun{
+				Run:                 seq,
+				Epoch:               report.Epoch,
+				PlanCache:           report.PlanOutcome(),
+				PlanMillis:          millis(report.TopBucketsTime + report.DistributeTime),
+				PlanSavedMillis:     millis(report.PlanSavedTime),
+				JoinMillis:          millis(report.JoinTime),
+				TotalMillis:         millis(report.Total),
+				TreesBuilt:          report.TreesBuilt,
+				TreesReused:         report.TreesReused,
+				RoutedBucketEntries: report.Join.RoutedBucketEntries,
+				RoutedIntervals:     report.Join.RoutedIntervalRecords,
+				RawShuffled:         report.Join.RawIntervalsShuffled,
+				SharedFloor:         report.Join.SharedFloor,
+				MinKthScore:         minKth(report),
+				Batch:               report.BatchSize,
+				QueueMillis:         millis(report.QueueWait),
+			})
+			if !*jsonOut && (*repeat > 1 || *conc > 1) {
+				fmt.Printf("run %d: %v (plan %s %v, join %v, batch %d, queue %v, trees built %d, reused %d)\n",
+					seq, report.Total, report.PlanOutcome(), report.TopBucketsTime+report.DistributeTime,
+					report.JoinTime, report.BatchSize, report.QueueWait,
+					report.TreesBuilt, report.TreesReused)
+			}
+			seq++
 		}
 	}
 	// Appends may have landed between runs (-append-every); report the

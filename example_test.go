@@ -1,6 +1,7 @@
 package tkij_test
 
 import (
+	"context"
 	"fmt"
 
 	"tkij"
@@ -52,7 +53,7 @@ func ExampleEngine_Execute() {
 	if err != nil {
 		panic(err)
 	}
-	report, err := engine.Execute(q)
+	report, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		panic(err)
 	}
@@ -86,7 +87,7 @@ func ExampleEngine_Append() {
 	if err != nil {
 		panic(err)
 	}
-	before, err := engine.Execute(q)
+	before, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		panic(err)
 	}
@@ -95,7 +96,7 @@ func ExampleEngine_Append() {
 	if err != nil {
 		panic(err)
 	}
-	after, err := engine.Execute(q)
+	after, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		panic(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report, err := engine.Execute(q)
+	report, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := engine.Execute(q)
+	report, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 
 	// Self-join: every query vertex reads the same connection list, the
 	// paper's setup of copying the collection three times.
-	report, err := engine.ExecuteMapped(q, []int{0, 0, 0})
+	report, err := engine.ExecuteMapped(context.Background(), q, []int{0, 0, 0})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report2, err := engine.ExecuteMapped(q2, []int{0, 0, 0})
+	report2, err := engine.ExecuteMapped(context.Background(), q2, []int{0, 0, 0})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := engine.ExecuteMapped(q, []int{0, 0})
+	report, err := engine.ExecuteMapped(context.Background(), q, []int{0, 0})
 	if err != nil {
 		log.Fatal(err)
 	}

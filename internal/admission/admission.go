@@ -1,0 +1,460 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tkij/internal/core"
+	"tkij/internal/join"
+	"tkij/internal/query"
+)
+
+// Defaults for Options. The window is deliberately short: it only needs
+// to be long enough for concurrent arrivals to coalesce, and every
+// query admitted while a batch executes waits for the next cut anyway.
+const (
+	DefaultWindow      = time.Millisecond
+	DefaultMaxBatch    = 32
+	DefaultMaxInflight = 2
+	DefaultParallel    = 4
+)
+
+// Options tunes a Batcher. The zero value uses the defaults above with
+// MaxQueue = 8 × MaxBatch.
+type Options struct {
+	// Window is the batching window: the delay after a batch's first
+	// query during which later arrivals join it (<= 0 means
+	// DefaultWindow; the window also closes early when MaxBatch queries
+	// have queued). Larger windows trade per-query latency for larger
+	// batches and more sharing.
+	Window time.Duration
+	// MaxBatch caps the queries admitted into one batch (<= 0 means
+	// DefaultMaxBatch).
+	MaxBatch int
+	// MaxQueue caps the queries waiting for a batch cut; a Submit
+	// beyond it fails fast with ErrQueueFull — the backpressure signal
+	// for callers to shed or retry (<= 0 means 8 × MaxBatch).
+	MaxQueue int
+	// MaxInflight caps the batches executing concurrently (<= 0 means
+	// DefaultMaxInflight). Each in-flight batch holds exactly one
+	// pinned store view, so this is also the bound on live epoch views
+	// under continuous ingest.
+	MaxInflight int
+	// Parallel is the number of batch members executing concurrently
+	// within one batch (<= 0 means DefaultParallel). Each member runs
+	// its own join Map-Reduce job; this bounds the multiplication.
+	Parallel int
+	// PrivateFloors disables cross-query score-floor sharing: members
+	// still share the pinned epoch, the single-flighted plans and the
+	// bound memo, but each keeps a private cross-reducer floor. Exists
+	// for the shared-vs-private ablation (tkij-bench -exp admission).
+	PrivateFloors bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 8 * o.MaxBatch
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = DefaultMaxInflight
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = DefaultParallel
+	}
+	return o
+}
+
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("admission: batcher closed")
+	// ErrQueueFull is the backpressure error: the queue is at MaxQueue
+	// and the query was rejected without waiting.
+	ErrQueueFull = errors.New("admission: queue full")
+)
+
+// Stats is a snapshot of a Batcher's activity.
+type Stats struct {
+	// Submitted counts accepted Submit calls; Rejected counts Submits
+	// refused with ErrQueueFull.
+	Submitted int64
+	Rejected  int64
+	// Completed counts members whose execution finished (successfully
+	// or not, including cancellations).
+	Completed int64
+	// Batches is the number of batches executed; MaxBatchSize the
+	// largest batch formed; QueueHighWater the deepest queue observed.
+	Batches        int64
+	MaxBatchSize   int
+	QueueHighWater int
+	// PlanLeaders counts distinct plan keys warmed (one TopBuckets
+	// solve each); PlanFollowers counts members that rode a sibling's
+	// plan instead of solving their own.
+	PlanLeaders   int64
+	PlanFollowers int64
+	// BoundSolves / BoundReuses aggregate the batch registries' per-edge
+	// bound memo activity (see join.BatchShareStats).
+	BoundSolves int64
+	BoundReuses int64
+}
+
+// member is one admitted query waiting for (or riding) a batch.
+type member struct {
+	ctx      context.Context
+	q        *query.Query
+	mapping  []int
+	enqueued time.Time
+	done     chan outcome
+}
+
+type outcome struct {
+	report *core.Report
+	err    error
+}
+
+// Batcher is the admission and batching layer: it sits between the
+// public API and the engine, coalescing concurrent Submit calls into
+// short batching windows. Each batch executes against a single pinned
+// epoch view, single-flights the planning of identical plan keys, and
+// shares score floors and bound memos across members (join.BatchShare).
+// Safe for concurrent use; create with New, stop with Close.
+type Batcher struct {
+	e    *core.Engine
+	opts Options
+
+	mu     sync.Mutex
+	queue  []*member
+	closed bool
+	stats  Stats
+
+	kick     chan struct{} // wakes the dispatcher (capacity 1)
+	inflight chan struct{} // batch-execution semaphore
+	wg       sync.WaitGroup
+}
+
+// New returns a running Batcher over e.
+func New(e *core.Engine, opts Options) *Batcher {
+	opts = opts.withDefaults()
+	b := &Batcher{
+		e:        e,
+		opts:     opts,
+		kick:     make(chan struct{}, 1),
+		inflight: make(chan struct{}, opts.MaxInflight),
+	}
+	b.wg.Add(1)
+	go b.dispatch()
+	return b
+}
+
+// Engine returns the engine the batcher admits queries into.
+func (b *Batcher) Engine() *core.Engine { return b.e }
+
+// Submit admits q (vertex i reading collection mapping[i]; nil mapping
+// means identity) and blocks until its batch executes, returning the
+// per-query report with Batched/BatchSize/QueueWait filled in. The
+// context covers the whole wait: cancellation or deadline expiry while
+// queued — or between execution phases — fails this query (and only
+// this query) with an error satisfying errors.Is(err,
+// core.ErrCanceled). A full queue fails fast with ErrQueueFull.
+func (b *Batcher) Submit(ctx context.Context, q *query.Query, mapping []int) (*core.Report, error) {
+	if mapping == nil {
+		mapping = make([]int, q.NumVertices)
+		for i := range mapping {
+			mapping[i] = i
+		}
+	}
+	m := &member{ctx: ctx, q: q, mapping: mapping, enqueued: time.Now(), done: make(chan outcome, 1)}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(b.queue) >= b.opts.MaxQueue {
+		// Members canceled while queued were already answered; drop
+		// them before charging a live caller for the dead weight.
+		b.compactQueueLocked()
+	}
+	if len(b.queue) >= b.opts.MaxQueue {
+		b.stats.Rejected++
+		b.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	b.queue = append(b.queue, m)
+	b.stats.Submitted++
+	if len(b.queue) > b.stats.QueueHighWater {
+		b.stats.QueueHighWater = len(b.queue)
+	}
+	b.mu.Unlock()
+	b.wake()
+
+	select {
+	case out := <-m.done:
+		return out.report, out.err
+	case <-ctx.Done():
+		// The member may still be queued or mid-batch; the batch will
+		// observe the canceled context and discard the result. Answer
+		// the caller now — Submit's contract is that its wait respects
+		// the context.
+		return nil, fmt.Errorf("admission: %w while queued: %w", core.ErrCanceled, ctx.Err())
+	}
+}
+
+// wake nudges the dispatcher; a pending nudge is enough.
+func (b *Batcher) wake() {
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+// compactQueueLocked drops queued members whose context is already
+// done: their Submit calls have returned, so they would only waste
+// queue capacity and batch slots. Callers hold b.mu.
+func (b *Batcher) compactQueueLocked() {
+	live := b.queue[:0]
+	for _, m := range b.queue {
+		if m.ctx.Err() == nil {
+			live = append(live, m)
+		}
+	}
+	for i := len(live); i < len(b.queue); i++ {
+		b.queue[i] = nil
+	}
+	b.queue = live
+}
+
+// Close stops admission (subsequent Submits fail with ErrClosed),
+// flushes every already-queued query, waits for in-flight batches to
+// finish, and returns. It is safe to call once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.wake()
+	b.wg.Wait()
+}
+
+// Stats returns a snapshot of the batcher's activity.
+func (b *Batcher) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// dispatch is the batching loop: wait for a first arrival, hold the
+// window open (cutting early at MaxBatch), cut, and hand the batch to a
+// bounded executor. Closed + drained, it exits.
+func (b *Batcher) dispatch() {
+	defer b.wg.Done()
+	for {
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			if b.closed {
+				b.mu.Unlock()
+				return
+			}
+			b.mu.Unlock()
+			<-b.kick
+			continue
+		}
+		closed := b.closed
+		b.mu.Unlock()
+
+		// Batching window: arrivals during it join this batch. Skipped
+		// when closing (flush as fast as possible) — and cut early the
+		// moment MaxBatch members are waiting. The window is anchored at
+		// the oldest queued member's arrival, so a query that already
+		// waited behind in-flight batches is not held another full
+		// window once the dispatcher gets to it.
+		if !closed {
+			b.mu.Lock()
+			if len(b.queue) == 0 {
+				// A Submit hitting a full queue may have compacted away
+				// every (canceled) member since the emptiness check.
+				b.mu.Unlock()
+				continue
+			}
+			oldest := b.queue[0].enqueued
+			b.mu.Unlock()
+			timer := time.NewTimer(b.opts.Window - time.Since(oldest))
+		window:
+			for {
+				b.mu.Lock()
+				full := len(b.queue) >= b.opts.MaxBatch || b.closed
+				b.mu.Unlock()
+				if full {
+					break
+				}
+				select {
+				case <-timer.C:
+					break window
+				case <-b.kick:
+				}
+			}
+			timer.Stop()
+		}
+
+		b.mu.Lock()
+		b.compactQueueLocked()
+		if len(b.queue) == 0 {
+			b.mu.Unlock()
+			continue
+		}
+		n := min(len(b.queue), b.opts.MaxBatch)
+		batch := make([]*member, n)
+		copy(batch, b.queue[:n])
+		b.queue = append(b.queue[:0:0], b.queue[n:]...)
+		b.stats.Batches++
+		if n > b.stats.MaxBatchSize {
+			b.stats.MaxBatchSize = n
+		}
+		leftover := len(b.queue) > 0
+		b.mu.Unlock()
+		if leftover {
+			b.wake() // reprocess the remainder without waiting for a Submit
+		}
+
+		b.inflight <- struct{}{} // MaxInflight bound — also bounds live epoch views
+		b.wg.Add(1)
+		go func(batch []*member) {
+			defer b.wg.Done()
+			defer func() { <-b.inflight }()
+			b.runBatch(batch)
+		}(batch)
+	}
+}
+
+// runBatch executes one batch: one pinned epoch, one sharing registry,
+// plans single-flighted per distinct key, members executed by a bounded
+// worker pool.
+func (b *Batcher) runBatch(batch []*member) {
+	pin, err := b.e.Pin()
+	if err != nil {
+		for _, m := range batch {
+			m.done <- outcome{err: err}
+		}
+		b.bumpCompleted(len(batch))
+		return
+	}
+	defer pin.Release()
+	share := join.NewBatchShare()
+
+	// Group members by plan-identity key. Members whose (query,
+	// mapping) fails validation fail here, before any planning.
+	type group struct {
+		key     string
+		members []*member
+	}
+	var groups []*group
+	byKey := make(map[string]*group)
+	keys := make(map[*member]string, len(batch))
+	live := batch[:0:0]
+	for _, m := range batch {
+		key, err := pin.PlanKey(m.q, m.mapping)
+		if err != nil {
+			m.done <- outcome{err: err}
+			b.bumpCompleted(1)
+			continue
+		}
+		keys[m] = key
+		g := byKey[key]
+		if g == nil {
+			g = &group{key: key}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.members = append(g.members, m)
+		live = append(live, m)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// Single-flight the planning: one leader per distinct key warms the
+	// plan cache at the pinned epoch; every member then executes as a
+	// cache hit. Leaders run under a background context — a canceled
+	// member must not abort planning its siblings still need. With the
+	// plan cache disabled the warm-up would be discarded work (nothing
+	// is inserted), so skip it and let every member plan cold.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, b.opts.Parallel)
+	if !b.e.Options().PlanCache.Disabled {
+		var leaders, followers int64
+		for _, g := range groups {
+			// Warm on behalf of a member that is still interested; a
+			// group whose members were all canceled while queued skips
+			// the solve — they abort on their own contexts below.
+			var lead *member
+			for _, m := range g.members {
+				if m.ctx.Err() == nil {
+					lead = m
+					break
+				}
+			}
+			if lead == nil {
+				continue
+			}
+			leaders++
+			followers += int64(len(g.members) - 1)
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(lead *member) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				// A plan error surfaces per-member below; warming is
+				// best effort.
+				_ = b.e.PlanPinned(context.Background(), lead.q, lead.mapping, pin)
+			}(lead)
+		}
+		wg.Wait()
+		b.mu.Lock()
+		b.stats.PlanLeaders += leaders
+		b.stats.PlanFollowers += followers
+		b.mu.Unlock()
+	}
+
+	// Execute every member against the shared pin and registry.
+	for _, m := range live {
+		floorKey := keys[m]
+		if b.opts.PrivateFloors {
+			floorKey = ""
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(m *member, floorKey string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			rep, err := b.e.ExecutePinned(m.ctx, m.q, m.mapping, pin, share, floorKey)
+			if rep != nil {
+				rep.Batched = true
+				rep.BatchSize = len(live)
+				rep.QueueWait = start.Sub(m.enqueued)
+			}
+			m.done <- outcome{report: rep, err: err}
+			b.bumpCompleted(1)
+		}(m, floorKey)
+	}
+	wg.Wait()
+
+	ss := share.Stats()
+	b.mu.Lock()
+	b.stats.BoundSolves += ss.BoundSolves
+	b.stats.BoundReuses += ss.BoundReuses
+	b.mu.Unlock()
+}
+
+func (b *Batcher) bumpCompleted(n int) {
+	b.mu.Lock()
+	b.stats.Completed += int64(n)
+	b.mu.Unlock()
+}

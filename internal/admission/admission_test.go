@@ -1,0 +1,310 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tkij/internal/core"
+	"tkij/internal/datagen"
+	"tkij/internal/interval"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+)
+
+func testEngine(t *testing.T, n int, opts core.Options) *core.Engine {
+	t.Helper()
+	cols := []*interval.Collection{
+		datagen.Uniform("C1", n, 11), datagen.Uniform("C2", n, 12), datagen.Uniform("C3", n, 13),
+	}
+	if opts.Granules == 0 {
+		opts.Granules = 8
+	}
+	if opts.K == 0 {
+		opts.K = 10
+	}
+	if opts.Reducers == 0 {
+		opts.Reducers = 4
+	}
+	e, err := core.NewEngine(cols, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testQuery(t *testing.T, name string) *query.Query {
+	t.Helper()
+	q, err := query.ByName(name, query.Env{Params: scoring.P1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// Concurrent submits of one shape must coalesce into one batch that
+// shares a single pinned epoch and a single plan solve.
+func TestBatchCoalescesConcurrentSubmits(t *testing.T) {
+	e := testEngine(t, 800, core.Options{})
+	if err := e.PrepareStats(); err != nil {
+		t.Fatal(err)
+	}
+	b := New(e, Options{Window: 100 * time.Millisecond, MaxBatch: 8})
+	defer b.Close()
+	q := testQuery(t, "Qo,m")
+
+	const n = 8
+	reports := make([]*core.Report, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := b.Submit(context.Background(), q, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reports[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, r := range reports {
+		if !r.Batched {
+			t.Fatalf("report %d not marked batched", i)
+		}
+		if r.Epoch != reports[0].Epoch {
+			t.Fatalf("report %d pinned epoch %d, batch sibling had %d", i, r.Epoch, reports[0].Epoch)
+		}
+		if r.BatchSize < 2 {
+			t.Fatalf("report %d batch size %d, want coalescing", i, r.BatchSize)
+		}
+	}
+	st := b.Stats()
+	if st.Submitted != n || st.Completed != n {
+		t.Fatalf("stats submitted/completed = %d/%d, want %d/%d", st.Submitted, st.Completed, n, n)
+	}
+	// All eight share a shape: at most one leader per batch actually
+	// formed, everyone else rode the single-flighted plan.
+	if st.PlanLeaders >= int64(n) || st.PlanFollowers == 0 {
+		t.Fatalf("plan single-flight missing: leaders=%d followers=%d", st.PlanLeaders, st.PlanFollowers)
+	}
+}
+
+// A full queue must reject immediately with ErrQueueFull, and a closed
+// batcher with ErrClosed.
+func TestBackpressureAndClose(t *testing.T) {
+	e := testEngine(t, 300, core.Options{})
+	if err := e.PrepareStats(); err != nil {
+		t.Fatal(err)
+	}
+	b := New(e, Options{Window: time.Second, MaxBatch: 64, MaxQueue: 2})
+	q := testQuery(t, "Qb,b")
+
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := b.Submit(context.Background(), q, nil)
+			done <- err
+		}()
+	}
+	// Wait until both occupy the queue, then overflow it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := b.Stats(); st.Submitted == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued submits never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := b.Submit(context.Background(), q, nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit returned %v, want ErrQueueFull", err)
+	}
+	// Close flushes the queued queries rather than failing them.
+	b.Close()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("flushed submit failed: %v", err)
+		}
+	}
+	if _, err := b.Submit(context.Background(), q, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close returned %v, want ErrClosed", err)
+	}
+	if st := b.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+}
+
+// Cancellation: a canceled context fails that query (and only that
+// query) with the engine's distinct cancellation error, whether it is
+// canceled before admission or while queued.
+func TestSubmitCancellation(t *testing.T) {
+	e := testEngine(t, 300, core.Options{})
+	if err := e.PrepareStats(); err != nil {
+		t.Fatal(err)
+	}
+	b := New(e, Options{Window: 200 * time.Millisecond})
+	defer b.Close()
+	q := testQuery(t, "Qb,b")
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Submit(pre, q, nil); !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled submit returned %v, want ErrCanceled/context.Canceled", err)
+	}
+
+	// Cancel while queued: the batching window is long enough that the
+	// cancellation lands first.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(ctx, q, nil)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel2()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, core.ErrCanceled) {
+			t.Fatalf("canceled-in-queue submit returned %v, want ErrCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled submit did not return")
+	}
+
+	// An uncanceled sibling submitted alongside still succeeds.
+	if _, err := b.Submit(context.Background(), q, nil); err != nil {
+		t.Fatalf("sibling submit failed: %v", err)
+	}
+}
+
+// Live epoch views under continuous ingest must be bounded by the
+// in-flight batch cap — not by the number of in-flight queries — and
+// must drain to zero once the batcher closes.
+func TestLiveViewsBoundedUnderIngest(t *testing.T) {
+	e := testEngine(t, 600, core.Options{})
+	if err := e.PrepareStats(); err != nil {
+		t.Fatal(err)
+	}
+	const maxInflight = 2
+	b := New(e, Options{Window: 2 * time.Millisecond, MaxBatch: 4, MaxInflight: maxInflight})
+	q := testQuery(t, "Qb,b")
+
+	stop := make(chan struct{})
+	var ingest sync.WaitGroup
+	ingest.Add(1)
+	go func() {
+		defer ingest.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := []interval.Interval{{ID: int64(100000 + i), Start: int64(i % 500), End: int64(i%500 + 10)}}
+			if _, err := e.Append(i%3, batch); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				if _, err := b.Submit(context.Background(), q, nil); err != nil && !errors.Is(err, ErrQueueFull) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	ingest.Wait()
+	b.Close()
+
+	vs := e.Store().ViewStats()
+	if vs.Live != 0 {
+		t.Fatalf("live views after close = %d, want 0 (views must release deterministically)", vs.Live)
+	}
+	if vs.HighWater > maxInflight {
+		t.Fatalf("view high-water %d exceeds in-flight batch bound %d: batching is not bounding epochs", vs.HighWater, maxInflight)
+	}
+	if vs.HighWater < 1 {
+		t.Fatalf("view high-water %d: no batch ever pinned?", vs.HighWater)
+	}
+}
+
+// An invalid member fails alone; valid members of the same batch
+// succeed.
+func TestInvalidMemberFailsAlone(t *testing.T) {
+	e := testEngine(t, 300, core.Options{})
+	if err := e.PrepareStats(); err != nil {
+		t.Fatal(err)
+	}
+	b := New(e, Options{Window: 50 * time.Millisecond})
+	defer b.Close()
+	q := testQuery(t, "Qb,b")
+
+	var wg sync.WaitGroup
+	var badErr, goodErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, badErr = b.Submit(context.Background(), q, []int{0, 99}) // out-of-range mapping
+	}()
+	go func() {
+		defer wg.Done()
+		_, goodErr = b.Submit(context.Background(), q, nil)
+	}()
+	wg.Wait()
+	if badErr == nil {
+		t.Fatal("invalid mapping did not error")
+	}
+	if goodErr != nil {
+		t.Fatalf("valid sibling failed: %v", goodErr)
+	}
+}
+
+func ExampleBatcher() {
+	cols := []*interval.Collection{
+		datagen.Uniform("C1", 500, 1), datagen.Uniform("C2", 500, 2), datagen.Uniform("C3", 500, 3),
+	}
+	e, err := core.NewEngine(cols, core.Options{Granules: 8, K: 5, Reducers: 4})
+	if err != nil {
+		panic(err)
+	}
+	q, err := query.ByName("Qb,b", query.Env{Params: scoring.P1})
+	if err != nil {
+		panic(err)
+	}
+	b := New(e, Options{Window: 20 * time.Millisecond})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	reports := make([]*core.Report, 4)
+	for i := range reports {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], _ = b.Submit(context.Background(), q, nil)
+		}(i)
+	}
+	wg.Wait()
+	fmt.Println("results:", len(reports[0].Results), "batched:", reports[0].Batched)
+	// Output:
+	// results: 5 batched: true
+}

@@ -1,0 +1,245 @@
+package admission
+
+// Batching-equivalence harness: batched Submit must be
+// result-identical to sequential Execute. Everything the batch shares —
+// the pinned epoch, the single-flighted plan, the cross-query floor,
+// the bound memo — is either a pure function of its key or a
+// certified-sound pruning floor, so the top-k score multiset must come
+// out byte-identical (exact float equality, no epsilon):
+//
+//   - quiesced: concurrent duplicate Submits vs the same engine's
+//     sequential ExecuteMapped;
+//   - under interleaved Append: every batched report is checked against
+//     the naive nested-loop oracle over the collection prefixes its
+//     pinned epoch corresponds to.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"tkij/internal/baselines"
+	"tkij/internal/core"
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+)
+
+func randomCollection(rng *rand.Rand, name string, idBase int64) *interval.Collection {
+	n := 25 + rng.Intn(35)
+	span := int64(500 + rng.Intn(4000))
+	maxLen := int64(10 + rng.Intn(150))
+	c := &interval.Collection{Name: name}
+	for j := 0; j < n; j++ {
+		s := rng.Int63n(span)
+		c.Add(interval.Interval{ID: idBase + int64(j), Start: s, End: s + 1 + rng.Int63n(maxLen)})
+	}
+	return c
+}
+
+func randomQuery(rng *rand.Rand, n int, avg float64) (*query.Query, error) {
+	params := []scoring.PairParams{scoring.P1, scoring.P2, scoring.P3}[rng.Intn(3)]
+	preds := []func() *scoring.Predicate{
+		func() *scoring.Predicate { return scoring.Before(params) },
+		func() *scoring.Predicate { return scoring.Meets(params) },
+		func() *scoring.Predicate { return scoring.Overlaps(params) },
+		func() *scoring.Predicate { return scoring.Equals(params) },
+		func() *scoring.Predicate { return scoring.JustBefore(params, avg) },
+		func() *scoring.Predicate { return scoring.Sparks(params) },
+	}
+	var edges []query.Edge
+	star := rng.Intn(2) == 0
+	for v := 1; v < n; v++ {
+		from, to := v-1, v
+		if star {
+			from = 0
+		}
+		if rng.Intn(2) == 0 {
+			from, to = to, from
+		}
+		edges = append(edges, query.Edge{From: from, To: to, Pred: preds[rng.Intn(len(preds))]()})
+	}
+	return query.New(fmt.Sprintf("rand-n%d", n), n, edges, scoring.Avg{})
+}
+
+// exactScores renders a result list's scores sorted descending; two
+// lists compare byte-identical iff these are element-wise equal.
+func exactScores(rs []join.Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Score
+	}
+	return out
+}
+
+func sameScores(a, b []join.Result) bool {
+	return join.ScoreMultisetEqual(a, b, 0)
+}
+
+func TestBatchedMatchesSequentialRandomized(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(4000 + seed*6131)))
+			n := 2 + rng.Intn(2)
+			cols := make([]*interval.Collection, n)
+			for i := range cols {
+				cols[i] = randomCollection(rng, fmt.Sprintf("C%d", i), int64(i)*1_000_000)
+			}
+			q1, err := randomQuery(rng, n, interval.AvgLength(cols...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			q2, err := randomQuery(rng, n, interval.AvgLength(cols...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := 1 + rng.Intn(12)
+			e, err := core.NewEngine(cols, core.Options{
+				Granules: 3 + rng.Intn(8),
+				K:        k,
+				Reducers: 2 + rng.Intn(5),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := New(e, Options{Window: 3 * time.Millisecond, MaxBatch: 16})
+			defer b.Close()
+
+			// Quiesced round: duplicate concurrent Submits of two shapes
+			// vs sequential Execute on the same (unmoving) epoch.
+			queries := []*query.Query{q1, q1, q2, q1, q2, q2}
+			reports := make([]*core.Report, len(queries))
+			var wg sync.WaitGroup
+			for i, q := range queries {
+				wg.Add(1)
+				go func(i int, q *query.Query) {
+					defer wg.Done()
+					r, err := b.Submit(context.Background(), q, nil)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					reports[i] = r
+				}(i, q)
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+			for i, q := range queries {
+				seqReport, err := e.Execute(context.Background(), q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameScores(reports[i].Results, seqReport.Results) {
+					t.Fatalf("batched submit %d diverged from sequential Execute on %s\nbatched:    %v\nsequential: %v",
+						i, q.Name, exactScores(reports[i].Results), exactScores(seqReport.Results))
+				}
+				for _, r := range reports[i].Results {
+					if got := q.Score(r.Tuple); got != r.Score {
+						t.Fatalf("batched result tuple %v reports score %g, rescores to %g", r.Tuple, r.Score, got)
+					}
+				}
+			}
+
+			// Ingest round: one appender streams batches while duplicate
+			// Submits run; every report must match the naive oracle over
+			// the collection prefixes of its pinned epoch.
+			var mu sync.Mutex
+			lengths := map[int64][]int{0: colLengths(cols)}
+			stop := make(chan struct{})
+			var ingest sync.WaitGroup
+			ingest.Add(1)
+			go func() {
+				defer ingest.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					col := rng.Intn(n)
+					batch := make([]interval.Interval, 3+rng.Intn(8))
+					span := int64(500 + rng.Intn(4500))
+					for j := range batch {
+						s := rng.Int63n(span)
+						batch[j] = interval.Interval{ID: int64(9_000_000 + i*100 + j), Start: s, End: s + 1 + rng.Int63n(120)}
+					}
+					mu.Lock()
+					epoch, err := e.Append(col, batch)
+					if err != nil {
+						mu.Unlock()
+						t.Error(err)
+						return
+					}
+					lengths[epoch] = colLengths(cols)
+					mu.Unlock()
+					time.Sleep(time.Millisecond)
+				}
+			}()
+
+			ingestReports := make([]*core.Report, 12)
+			for i := range ingestReports {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					q := q1
+					if i%3 == 2 {
+						q = q2
+					}
+					r, err := b.Submit(context.Background(), q, nil)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					ingestReports[i] = r
+				}(i)
+			}
+			wg.Wait()
+			close(stop)
+			ingest.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+
+			for i, r := range ingestReports {
+				mu.Lock()
+				lens, ok := lengths[r.Epoch]
+				mu.Unlock()
+				if !ok {
+					t.Fatalf("report %d pinned epoch %d with no recorded lengths", i, r.Epoch)
+				}
+				prefix := make([]*interval.Collection, n)
+				for c := range prefix {
+					prefix[c] = &interval.Collection{Name: cols[c].Name, Items: cols[c].Items[:lens[c]]}
+				}
+				want, err := baselines.Naive(r.Query, prefix, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameScores(r.Results, want) {
+					t.Fatalf("batched submit %d (epoch %d) diverged from the naive oracle\nbatched: %v\nnaive:   %v",
+						i, r.Epoch, exactScores(r.Results), exactScores(want))
+				}
+			}
+		})
+	}
+}
+
+func colLengths(cols []*interval.Collection) []int {
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		out[i] = c.Len()
+	}
+	return out
+}

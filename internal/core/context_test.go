@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tkij/internal/datagen"
+	"tkij/internal/interval"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+)
+
+// Context cancellation must abort Execute between phases with the
+// distinct ErrCanceled error — satisfying errors.Is for both the
+// sentinel and the context's own cause — and must never corrupt the
+// engine for later executions.
+func TestExecuteCanceled(t *testing.T) {
+	cols := []*interval.Collection{
+		datagen.Uniform("C1", 400, 1), datagen.Uniform("C2", 400, 2), datagen.Uniform("C3", 400, 3),
+	}
+	e, err := NewEngine(cols, Options{Granules: 8, K: 10, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.ByName("Qo,m", query.Env{Params: scoring.P1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Execute(ctx, q); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Execute returned %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+
+	// An already-expired deadline reports the deadline cause, still
+	// under the same sentinel.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := e.Execute(dctx, q); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-deadline Execute returned %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+
+	// The engine is untouched: a live context still executes, and the
+	// canceled attempts released their pinned views.
+	report, err := e.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) == 0 {
+		t.Fatal("post-cancel execution returned no results")
+	}
+	if vs := e.Store().ViewStats(); vs.Live != 0 {
+		t.Fatalf("live views after executions = %d, want 0", vs.Live)
+	}
+}
+
+// PlanPinned and ExecutePinned share one pin: the follower's execution
+// must be a plan-cache hit at the pinned epoch, and the pin must keep
+// working after appends move the engine's own epoch forward.
+func TestExecutePinnedSharesPlan(t *testing.T) {
+	cols := []*interval.Collection{
+		datagen.Uniform("C1", 500, 4), datagen.Uniform("C2", 500, 5), datagen.Uniform("C3", 500, 6),
+	}
+	e, err := NewEngine(cols, Options{Granules: 8, K: 10, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.ByName("Qb,b", query.Env{Params: scoring.P1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin, err := e.Pin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Release()
+	mapping := []int{0, 1, 2}
+
+	key, err := pin.PlanKey(q, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key == "" {
+		t.Fatal("empty plan key")
+	}
+	if err := e.PlanPinned(context.Background(), q, mapping, pin); err != nil {
+		t.Fatal(err)
+	}
+
+	// An append lands between planning and execution; the pinned
+	// execution must stay at the pin's epoch and still hit the plan
+	// warmed for it.
+	if _, err := e.Append(0, []interval.Interval{{ID: 99, Start: 5, End: 25}}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.ExecutePinned(context.Background(), q, mapping, pin, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != pin.Epoch() {
+		t.Fatalf("pinned execution reported epoch %d, pin is at %d", rep.Epoch, pin.Epoch())
+	}
+	if !rep.PlanCacheHit {
+		t.Fatalf("pinned execution after PlanPinned was a %s, want hit", rep.PlanOutcome())
+	}
+}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tkij/internal/distribute"
@@ -360,6 +363,90 @@ func (e *Engine) prepared() ([]*stats.Matrix, *store.Store, *store.View, error) 
 	return e.matrices, e.store, e.store.View(), nil
 }
 
+// ErrCanceled marks an execution aborted between phases because its
+// context was canceled or its deadline expired. Errors returned for
+// such executions satisfy errors.Is for both ErrCanceled and the
+// context's own error (context.Canceled / context.DeadlineExceeded).
+var ErrCanceled = errors.New("execution canceled")
+
+// checkCtx translates a done context into the engine's distinct
+// cancellation error; nil while the context is live.
+func checkCtx(ctx context.Context, phase string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %w before %s: %w", ErrCanceled, phase, err)
+	}
+	return nil
+}
+
+// Pin is one pinned execution context: the bucket matrices and the
+// epoch-pinned store view captured as a single consistent unit. The
+// engine pins one per Execute; the admission layer pins one per batch,
+// so every batch member shares one epoch (and the store's live-view
+// count grows with in-flight batches, not with in-flight queries).
+// Release it when the executions using it have completed; Release is
+// idempotent.
+type Pin struct {
+	e        *Engine
+	matrices []*stats.Matrix
+	store    *store.Store
+	view     *store.View
+	released atomic.Bool
+}
+
+// Pin captures (matrices, store view) at the current epoch, running
+// the offline preparation first if needed.
+func (e *Engine) Pin() (*Pin, error) {
+	ms, st, view, err := e.prepared()
+	if err != nil {
+		return nil, err
+	}
+	return &Pin{e: e, matrices: ms, store: st, view: view}, nil
+}
+
+// Epoch returns the store epoch the pin captured.
+func (p *Pin) Epoch() int64 { return p.view.Epoch() }
+
+// Release retires the pin's store view from the live-view accounting.
+func (p *Pin) Release() {
+	if p != nil && !p.released.Swap(true) {
+		p.view.Release()
+	}
+}
+
+// PlanKey returns the canonical plan-identity key of (q, mapping) under
+// the pin's granulation and the engine's k — the key the plan cache
+// files the shape under, and the key the admission layer groups batch
+// members by: members sharing it share one TopBuckets solve and one
+// cross-reducer floor.
+func (p *Pin) PlanKey(q *query.Query, mapping []int) (string, error) {
+	if err := p.e.validateMapping(q, mapping); err != nil {
+		return "", err
+	}
+	grans := make([]stats.Granulation, q.NumVertices)
+	for v, ci := range mapping {
+		grans[v] = p.matrices[ci].Gran
+	}
+	return plancache.Key(q, mapping, p.e.opts.K, grans), nil
+}
+
+// validateMapping checks q and its vertex-to-collection mapping against
+// the engine's dataset — the single source of the input contract every
+// execution entry point (Execute, PlanKey, pinned execution) enforces.
+func (e *Engine) validateMapping(q *query.Query, mapping []int) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if len(mapping) != q.NumVertices {
+		return fmt.Errorf("core: mapping has %d entries for %d vertices", len(mapping), q.NumVertices)
+	}
+	for v, ci := range mapping {
+		if ci < 0 || ci >= len(e.cols) {
+			return fmt.Errorf("core: vertex %d mapped to collection %d of %d", v, ci, len(e.cols))
+		}
+	}
+	return nil
+}
+
 // Matrices exposes the collected bucket matrices (after PrepareStats).
 // Callers that mutate a matrix in place (stats.ApplyUpdate) must call
 // InvalidateStore afterwards, or the engine keeps serving the bucket
@@ -415,6 +502,18 @@ type Report struct {
 	// exactly the append batches with epoch <= Epoch were visible, no
 	// matter how many landed while the query ran.
 	Epoch int64
+
+	// Batched reports the execution went through the admission layer's
+	// batching path (a Server/Batcher Submit) rather than a direct
+	// Execute. The three fields below are filled by that layer.
+	Batched bool
+	// BatchSize is the number of queries admitted into this execution's
+	// batch (including this one); they all shared one pinned epoch.
+	BatchSize int
+	// QueueWait is the time between admission (Submit) and the start of
+	// this query's execution: the batching window plus any queueing
+	// behind earlier batches.
+	QueueWait time.Duration
 
 	// PlanCacheHit reports that the planning phases were skipped
 	// entirely: a cached plan for this query shape at this exact epoch
@@ -472,41 +571,107 @@ func (r *Report) Imbalance() float64 {
 }
 
 // Execute evaluates q with vertex i reading collection i. It is safe to
-// call concurrently with other Execute calls on the same engine.
-func (e *Engine) Execute(q *query.Query) (*Report, error) {
+// call concurrently with other Execute calls on the same engine. ctx
+// cancellation (or deadline expiry) aborts the execution between
+// phases — after planning, and between the join and merge jobs — with
+// an error satisfying errors.Is(err, ErrCanceled).
+func (e *Engine) Execute(ctx context.Context, q *query.Query) (*Report, error) {
 	mapping := make([]int, q.NumVertices)
 	for i := range mapping {
 		mapping[i] = i
 	}
-	return e.ExecuteMapped(q, mapping)
+	return e.ExecuteMapped(ctx, q, mapping)
 }
 
 // ExecuteMapped evaluates q with vertex i reading collection
 // mapping[i]. Several vertices may share one collection — the paper's
 // network-traffic experiments copy one connection list three times and
 // run 3-way queries over it (§4.3.1).
-func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
-	if err := q.Validate(); err != nil {
+func (e *Engine) ExecuteMapped(ctx context.Context, q *query.Query, mapping []int) (*Report, error) {
+	// Reject invalid input before paying for the offline preparation a
+	// Pin may trigger on a cold engine.
+	if err := e.validateMapping(q, mapping); err != nil {
 		return nil, err
 	}
-	if len(mapping) != q.NumVertices {
-		return nil, fmt.Errorf("core: mapping has %d entries for %d vertices", len(mapping), q.NumVertices)
-	}
-	matrices, st, view, err := e.prepared()
+	pin, err := e.Pin()
 	if err != nil {
 		return nil, err
+	}
+	defer pin.Release()
+	return e.ExecutePinned(ctx, q, mapping, pin, nil, "")
+}
+
+// pinnedInputs validates the mapping and assembles the per-vertex
+// planning and join inputs from a pin.
+func (e *Engine) pinnedInputs(q *query.Query, mapping []int, pin *Pin) ([]*stats.Matrix, []join.Source, []stats.Grid, error) {
+	if err := e.validateMapping(q, mapping); err != nil {
+		return nil, nil, nil, err
 	}
 	vertexMs := make([]*stats.Matrix, q.NumVertices)
 	srcs := make([]join.Source, q.NumVertices)
 	grans := make([]stats.Grid, q.NumVertices)
 	for v, ci := range mapping {
-		if ci < 0 || ci >= len(e.cols) {
-			return nil, fmt.Errorf("core: vertex %d mapped to collection %d of %d", v, ci, len(e.cols))
-		}
-		vertexMs[v] = matrices[ci].WithCol(v)
-		srcs[v] = view.Col(ci)
-		grans[v] = matrices[ci].Grid()
+		vertexMs[v] = pin.matrices[ci].WithCol(v)
+		srcs[v] = pin.view.Col(ci)
+		grans[v] = pin.matrices[ci].Grid()
 	}
+	return vertexMs, srcs, grans, nil
+}
+
+// planRequest assembles the plan-cache request for (q, mapping) at the
+// pin's epoch.
+func (e *Engine) planRequest(q *query.Query, mapping []int, vertexMs []*stats.Matrix, pin *Pin) plancache.Request {
+	tbOpts := e.opts.TopBuckets
+	tbOpts.Strategy = e.opts.Strategy
+	return plancache.Request{
+		Query:        q,
+		Matrices:     vertexMs,
+		VertexCols:   mapping,
+		K:            e.opts.K,
+		Epoch:        pin.Epoch(),
+		TopBuckets:   tbOpts,
+		Distribution: e.opts.Distribution,
+		Reducers:     e.opts.Reducers,
+	}
+}
+
+// PlanPinned runs (or revalidates, or simply looks up) the planning
+// phases for (q, mapping) at the pin's epoch, warming the plan cache
+// without running the join. The admission layer calls it once per
+// distinct plan key in a batch, so N concurrent misses on one shape
+// pay for one TopBuckets solve and every other batch member's
+// ExecutePinned is a pure cache hit.
+func (e *Engine) PlanPinned(ctx context.Context, q *query.Query, mapping []int, pin *Pin) error {
+	if err := checkCtx(ctx, "planning"); err != nil {
+		return err
+	}
+	vertexMs, _, _, err := e.pinnedInputs(q, mapping, pin)
+	if err != nil {
+		return err
+	}
+	_, err = e.plans.Plan(e.planRequest(q, mapping, vertexMs, pin))
+	return err
+}
+
+// ExecutePinned evaluates q against a pre-pinned epoch instead of
+// pinning its own: the admission layer executes every member of one
+// batch against a single Pin. share, when non-nil, is the batch-scoped
+// sharing registry (see join.BatchShare); floorKey, when additionally
+// non-empty, shares the cross-reducer score floor with sibling
+// executions under the same plan-identity key — callers must pass the
+// pin's PlanKey (or empty to keep the floor private). The pin stays
+// valid after the call; releasing it is the caller's responsibility.
+func (e *Engine) ExecutePinned(ctx context.Context, q *query.Query, mapping []int, pin *Pin,
+	share *join.BatchShare, floorKey string) (*Report, error) {
+
+	if err := checkCtx(ctx, "planning"); err != nil {
+		return nil, err
+	}
+	vertexMs, srcs, grans, err := e.pinnedInputs(q, mapping, pin)
+	if err != nil {
+		return nil, err
+	}
+	st, view := pin.store, pin.view
 
 	report := &Report{Query: q, Epoch: view.Epoch()}
 	total := time.Now()
@@ -515,19 +680,10 @@ func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
 	// the plan cache. The plan is a pure function of (query shape, k,
 	// granulation, matrices epoch) — a repeated shape at an unchanged
 	// epoch skips both phases, and an epoch bump revalidates the cached
-	// plan incrementally instead of replanning from scratch.
-	tbOpts := e.opts.TopBuckets
-	tbOpts.Strategy = e.opts.Strategy
-	planned, err := e.plans.Plan(plancache.Request{
-		Query:        q,
-		Matrices:     vertexMs,
-		VertexCols:   mapping,
-		K:            e.opts.K,
-		Epoch:        view.Epoch(),
-		TopBuckets:   tbOpts,
-		Distribution: e.opts.Distribution,
-		Reducers:     e.opts.Reducers,
-	})
+	// plan incrementally instead of replanning from scratch. Batched
+	// executions usually hit here outright: their batch's plan leader
+	// already warmed the entry at this exact epoch (PlanPinned).
+	planned, err := e.plans.Plan(e.planRequest(q, mapping, vertexMs, pin))
 	if err != nil {
 		return nil, err
 	}
@@ -541,17 +697,29 @@ func (e *Engine) ExecuteMapped(q *query.Query, mapping []int) (*Report, error) {
 	report.PlanRevalidated = planned.Outcome == plancache.Revalidated
 	report.PlanSavedTime = planned.SavedPlanTime
 
+	if err := checkCtx(ctx, "join"); err != nil {
+		return nil, err
+	}
+
 	// Phase 3+4: distributed join and merge over the resident store.
 	// TopBuckets' kthResLB seeds the shared cross-reducer threshold as a
-	// certified score floor.
+	// certified score floor; under batching the floor (and the per-edge
+	// bound memo) is shared through the batch registry instead.
 	localOpts := e.opts.Local
 	if localOpts.Floor < tb.KthResLB {
 		localOpts.Floor = tb.KthResLB
 	}
+	localOpts.Share = share
+	localOpts.FloorKey = floorKey
 	storeBefore := st.Snapshot()
-	out, err := join.Run(q, srcs, grans, tb.Selected, assign, e.opts.K,
+	out, err := join.Run(ctx, q, srcs, grans, tb.Selected, assign, e.opts.K,
 		mapreduce.Config{Mappers: e.opts.Mappers, Reducers: e.opts.Reducers}, localOpts)
 	if err != nil {
+		// Translate only genuine cancellation aborts; a real join
+		// failure that merely races a deadline must surface as itself.
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			return nil, fmt.Errorf("core: %w during join: %w", ErrCanceled, cerr)
+		}
 		return nil, err
 	}
 	storeAfter := st.Snapshot()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestExecuteMatchesExhaustive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := e.Execute(q)
+	report, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestExecuteMappedSelfJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := e.ExecuteMapped(q, []int{0, 0, 0})
+	report, err := e.ExecuteMapped(context.Background(), q, []int{0, 0, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,10 +114,10 @@ func TestExecuteMappedErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := query.Qbb(query.Env{Params: scoring.P1})
-	if _, err := e.ExecuteMapped(q, []int{0, 1}); err == nil {
+	if _, err := e.ExecuteMapped(context.Background(), q, []int{0, 1}); err == nil {
 		t.Error("short mapping accepted")
 	}
-	if _, err := e.ExecuteMapped(q, []int{0, 1, 7}); err == nil {
+	if _, err := e.ExecuteMapped(context.Background(), q, []int{0, 1, 7}); err == nil {
 		t.Error("out-of-range mapping accepted")
 	}
 }
@@ -133,10 +134,10 @@ func TestStatsReuse(t *testing.T) {
 	}
 	first := e.Matrices()
 	env := query.Env{Params: scoring.P1}
-	if _, err := e.Execute(query.Qbb(env)); err != nil {
+	if _, err := e.Execute(context.Background(), query.Qbb(env)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Execute(query.Qoo(env)); err != nil {
+	if _, err := e.Execute(context.Background(), query.Qoo(env)); err != nil {
 		t.Fatal(err)
 	}
 	for i := range first {
@@ -159,7 +160,7 @@ func TestConfigurationsAgree(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			report, err := e.Execute(q)
+			report, err := e.Execute(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", strat, alg, err)
 			}

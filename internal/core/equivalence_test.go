@@ -9,6 +9,7 @@ package core
 // oracle here before it can hide behind a hand-picked query.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -117,7 +118,7 @@ func TestEngineMatchesNaiveRandomized(t *testing.T) {
 			vertexCols := cols[:n]
 
 			check := func(stage string, wantEpoch int64) {
-				report, err := e.Execute(q)
+				report, err := e.Execute(context.Background(), q)
 				if err != nil {
 					t.Fatalf("%s: engine: %v", stage, err)
 				}
@@ -142,7 +143,7 @@ func TestEngineMatchesNaiveRandomized(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: cold engine: %v", stage, err)
 				}
-				coldReport, err := coldEngine.Execute(q)
+				coldReport, err := coldEngine.Execute(context.Background(), q)
 				if err != nil {
 					t.Fatalf("%s: cold engine: %v", stage, err)
 				}

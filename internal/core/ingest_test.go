@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -75,7 +76,7 @@ func TestAppendExecuteRace(t *testing.T) {
 					return
 				default:
 				}
-				report, err := e.Execute(q)
+				report, err := e.Execute(context.Background(), q)
 				if err != nil {
 					t.Error(err)
 					return
@@ -108,7 +109,7 @@ func TestAppendExecuteRace(t *testing.T) {
 
 	// Quiesced: the final state must be exact against the oracle and
 	// pinned at the last published epoch.
-	report, err := e.Execute(q)
+	report, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestInvalidateStoreResetsEpoch(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := query.Qom(query.Env{Params: scoring.P1})
-	if _, err := e.Execute(q); err != nil {
+	if _, err := e.Execute(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	metricsBefore := e.StatsMetrics
@@ -151,7 +152,7 @@ func TestInvalidateStoreResetsEpoch(t *testing.T) {
 	if epoch != 1 || e.Epoch() != 1 {
 		t.Fatalf("epoch after append = %d (engine %d), want 1", epoch, e.Epoch())
 	}
-	r, err := e.Execute(q)
+	r, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestInvalidateStoreResetsEpoch(t *testing.T) {
 	if e.Epoch() != 0 {
 		t.Fatalf("epoch after InvalidateStore = %d, want 0 (no store)", e.Epoch())
 	}
-	r, err = e.Execute(q)
+	r, err = e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestAppendDoesNotRebuildUnaffectedTrees(t *testing.T) {
 	}
 	q := query.Qom(query.Env{Params: scoring.P1})
 	for i := 0; i < 2; i++ { // cold + warm: memoize every tree the query touches
-		if _, err := e.Execute(q); err != nil {
+		if _, err := e.Execute(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -228,7 +229,7 @@ func TestAppendDoesNotRebuildUnaffectedTrees(t *testing.T) {
 	if _, err := e.Append(1, batch); err != nil {
 		t.Fatal(err)
 	}
-	warm, err := e.Execute(q)
+	warm, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestAppendDoesNotRebuildUnaffectedTrees(t *testing.T) {
 	// re-running it builds nothing — every tree the query needs survived
 	// the append or was memoized on the previous run. (The old
 	// InvalidateStore-on-append path rebuilt every bucket here.)
-	again, err := e.Execute(q)
+	again, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestAppendDoesNotRebuildUnaffectedTrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cr, err := cold.Execute(q)
+	cr, err := cold.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestAppendValidationAndUnpreparedPath(t *testing.T) {
 		t.Fatalf("append before preparation returned epoch %d, want 0", epoch)
 	}
 	q := query.Qbb(query.Env{Params: scoring.P1})
-	r, err := e.Execute(q)
+	r, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

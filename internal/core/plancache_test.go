@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -22,14 +23,14 @@ func TestPlanCacheHitSkipsPlanning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := e.Execute(q)
+	cold, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cold.PlanCacheHit || cold.PlanRevalidated {
 		t.Fatalf("first execution reported hit=%t revalidated=%t", cold.PlanCacheHit, cold.PlanRevalidated)
 	}
-	warm, err := e.Execute(q)
+	warm, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +78,11 @@ func TestPlanCacheIsomorphicShapesShareEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := e.Execute(q1)
+	r1, err := e.Execute(context.Background(), q1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := e.ExecuteMapped(q2, []int{1, 0})
+	r2, err := e.ExecuteMapped(context.Background(), q2, []int{1, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestPlanCacheAcrossAppends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Execute(q); err != nil {
+	if _, err := e.Execute(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 
@@ -119,7 +120,7 @@ func TestPlanCacheAcrossAppends(t *testing.T) {
 		if _, err := e.Append(bi%2, batch); err != nil {
 			t.Fatal(err)
 		}
-		report, err := e.Execute(q)
+		report, err := e.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,11 +157,11 @@ func TestPlanCacheDisabledEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		rc, err := cached.Execute(q)
+		rc, err := cached.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rd, err := cold.Execute(q)
+		rd, err := cold.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,13 +207,13 @@ func TestReportPhaseTimingsSumWithinTotal(t *testing.T) {
 		}
 	}
 
-	cold, err := e.Execute(q)
+	cold, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkReport("cold", cold)
 
-	hit, err := e.Execute(q)
+	hit, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestReportPhaseTimingsSumWithinTotal(t *testing.T) {
 	if _, err := e.Append(0, []interval.Interval{{ID: 9100, Start: 50, End: 70}}); err != nil {
 		t.Fatal(err)
 	}
-	reval, err := e.Execute(q)
+	reval, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestInvalidateStorePurgesPlanCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Execute(q); err != nil {
+	if _, err := e.Execute(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.PlanCacheStats(); st.Entries != 1 {
@@ -250,7 +251,7 @@ func TestInvalidateStorePurgesPlanCache(t *testing.T) {
 	if st := e.PlanCacheStats(); st.Entries != 0 {
 		t.Fatalf("InvalidateStore left cached plans: %+v", st)
 	}
-	report, err := e.Execute(q)
+	report, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -22,11 +23,11 @@ func TestWarmEngineReusesStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := e.Execute(q)
+	cold, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := e.Execute(q)
+	warm, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestConcurrentExecute(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 3; rep++ {
 				qi := (g + rep) % len(queries)
-				report, err := e.Execute(queries[qi])
+				report, err := e.Execute(context.Background(), queries[qi])
 				if err != nil {
 					errs[g] = err
 					return
@@ -128,7 +129,7 @@ func TestExecuteEmptySelectionPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := e.Execute(query.Qom(query.Env{Params: scoring.P1}))
+	report, err := e.Execute(context.Background(), query.Qom(query.Env{Params: scoring.P1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestPhaseDurationsNonNegative(t *testing.T) {
 	}
 	q := query.Qbb(query.Env{Params: scoring.P1})
 	for i := 0; i < 5; i++ {
-		report, err := e.Execute(q)
+		report, err := e.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func TestInvalidateStoreServesFreshData(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := query.Qss(query.Env{Params: scoring.P1})
-	before, err := e.Execute(q)
+	before, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestInvalidateStoreServesFreshData(t *testing.T) {
 	}
 
 	// Without invalidation the engine still serves the stale partition.
-	stale, err := e.Execute(q)
+	stale, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestInvalidateStoreServesFreshData(t *testing.T) {
 	}
 
 	e.InvalidateStore()
-	fresh, err := e.Execute(q)
+	fresh, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -60,11 +61,11 @@ func TestOpenEngineServesEveryExampleQuery(t *testing.T) {
 		query.QjBjB(env),
 	}
 	for _, q := range queries {
-		want, err := built.Execute(q)
+		want, err := built.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s on built engine: %v", q.Name, err)
 		}
-		got, err := restored.Execute(q)
+		got, err := restored.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s on restored engine: %v", q.Name, err)
 		}
@@ -133,11 +134,11 @@ func TestOpenEngineRestoresDeltas(t *testing.T) {
 	}
 	env := query.Env{Params: scoring.P1, Avg: interval.AvgLength(cols...)}
 	for _, q := range []*query.Query{query.Qbb(env), query.Qom(env), query.Qss(env)} {
-		want, err := live.Execute(q)
+		want, err := live.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := restored.Execute(q)
+		got, err := restored.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,11 +205,11 @@ func TestOpenEngineWarmPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := query.Qom(query.Env{Params: scoring.P1})
-	first, err := restored.Execute(q)
+	first, err := restored.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := restored.Execute(q)
+	second, err := restored.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

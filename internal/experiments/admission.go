@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"tkij/internal/admission"
+	"tkij/internal/core"
+	"tkij/internal/datagen"
+	"tkij/internal/distribute"
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+	"tkij/internal/topbuckets"
+)
+
+// Admission measures the admission/batching layer (beyond the paper,
+// toward the heavy-traffic north star): concurrent workers submitting
+// repeated/overlapping query shapes, batched vs unbatched, at varying
+// concurrency and window sizes, with shared vs private cross-query
+// floors. A second table shows the other payoff: under continuous
+// ingest a busy batcher keeps the number of live epoch views bounded
+// by its in-flight batch cap instead of by the query count.
+func Admission(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.size(20000)
+	k := cfg.k(100)
+	const g = 20
+	mkCols := func() []*interval.Collection {
+		return []*interval.Collection{
+			datagen.Uniform("C1", n, 71), datagen.Uniform("C2", n, 72), datagen.Uniform("C3", n, 73),
+		}
+	}
+	env := query.Env{Params: scoring.P1}
+	shapes := queriesByName(env, "Qb,b", "Qo,m")
+
+	// One warm engine per mode: preparation and first-touch R-tree
+	// builds are paid before the clock starts, so rows compare
+	// steady-state serving.
+	warmEngine := func() (*core.Engine, error) {
+		engine, err := engineFor(mkCols(), g, k, topbuckets.Loose, distribute.AlgDTB, cfg, join.LocalOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if err := engine.PrepareStats(); err != nil {
+			return nil, err
+		}
+		for _, q := range shapes {
+			if _, err := engine.Execute(context.Background(), q); err != nil {
+				return nil, err
+			}
+		}
+		return engine, nil
+	}
+
+	type mode struct {
+		name    string
+		window  time.Duration
+		private bool
+		batched bool
+	}
+	modes := []mode{
+		{name: "unbatched", batched: false},
+		{name: "batched w=500µs", batched: true, window: 500 * time.Microsecond},
+		{name: "batched w=2ms", batched: true, window: 2 * time.Millisecond},
+		{name: "batched w=2ms private-floor", batched: true, window: 2 * time.Millisecond, private: true},
+	}
+	const rounds = 6 // queries per worker, alternating over the shapes
+
+	t := &Table{
+		ID:      "admission",
+		Title:   fmt.Sprintf("Admission batching: concurrent repeated-shape traffic (|Ci|=%d, k=%d, %d queries/worker)", n, k, rounds),
+		Columns: []string{"mode", "conc", "queries", "wall(ms)", "qps", "avg-queue(ms)", "avg-batch", "plan-lead/follow", "bound-reuse"},
+		Note:    "batched members share one pinned epoch, single-flighted plans, cross-query floors and bound memos; private-floor is the sharing ablation",
+	}
+	for _, conc := range []int{1, 4, 8, 16} {
+		for _, m := range modes {
+			engine, err := warmEngine()
+			if err != nil {
+				return nil, err
+			}
+			var batcher *admission.Batcher
+			if m.batched {
+				batcher = admission.New(engine, admission.Options{
+					Window:        m.window,
+					MaxBatch:      conc,
+					PrivateFloors: m.private,
+				})
+			}
+			total := conc * rounds
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			var queueWait time.Duration
+			var batchSum, runs int
+			errs := make([]error, conc)
+			start := time.Now()
+			for w := 0; w < conc; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						q := shapes[(w+r)%len(shapes)]
+						var report *core.Report
+						var err error
+						if batcher != nil {
+							report, err = batcher.Submit(context.Background(), q, nil)
+						} else {
+							report, err = engine.Execute(context.Background(), q)
+						}
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						mu.Lock()
+						queueWait += report.QueueWait
+						batchSum += report.BatchSize
+						runs++
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			if batcher != nil {
+				batcher.Close()
+			}
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			qps := float64(total) / wall.Seconds()
+			avgQueue := time.Duration(0)
+			avgBatch := 0.0
+			if runs > 0 {
+				avgQueue = queueWait / time.Duration(runs)
+				avgBatch = float64(batchSum) / float64(runs)
+			}
+			leadFollow, reuse := "-", "-"
+			if batcher != nil {
+				st := batcher.Stats()
+				leadFollow = fmt.Sprintf("%d/%d", st.PlanLeaders, st.PlanFollowers)
+				reuse = fmt.Sprintf("%d", st.BoundReuses)
+			}
+			t.Rows = append(t.Rows, []string{
+				m.name, fmt.Sprintf("%d", conc), fmt.Sprintf("%d", total),
+				ms(wall), f2(qps), ms(avgQueue), f2(avgBatch), leadFollow, reuse,
+			})
+			cfg.logf("  admission %s conc=%d done (%.1f qps)", m.name, conc, qps)
+		}
+	}
+
+	// Live epoch views under continuous ingest: every in-flight batch
+	// holds exactly one pinned view, so the batcher's MaxInflight bounds
+	// live epochs; unbatched concurrent queries each pin their own.
+	ti := &Table{
+		ID:      "admission-ingest",
+		Title:   "Live epoch views under continuous ingest (16 workers, appends streaming throughout)",
+		Columns: []string{"mode", "queries", "appends", "view-high-water", "live-after", "qps"},
+		Note:    "high-water = max store views alive at once; the batcher bounds it by MaxInflight (2), direct execution by the worker count",
+	}
+	for _, batched := range []bool{false, true} {
+		engine, err := warmEngine()
+		if err != nil {
+			return nil, err
+		}
+		// Reset accounting noise from warming: build a fresh batcher on
+		// a fresh engine, then only measure traffic.
+		var batcher *admission.Batcher
+		if batched {
+			batcher = admission.New(engine, admission.Options{Window: time.Millisecond, MaxBatch: 8, MaxInflight: 2})
+		}
+		const workers = 16
+		stop := make(chan struct{})
+		appends := 0
+		var ingest sync.WaitGroup
+		ingest.Add(1)
+		go func() {
+			defer ingest.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch := []interval.Interval{{ID: int64(5_000_000 + i), Start: int64(i % 1000), End: int64(i%1000 + 20)}}
+				if _, err := engine.Append(i%3, batch); err != nil {
+					return
+				}
+				appends++
+				time.Sleep(500 * time.Microsecond)
+			}
+		}()
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 0; r < 4; r++ {
+					q := shapes[(w+r)%len(shapes)]
+					var err error
+					if batcher != nil {
+						_, err = batcher.Submit(context.Background(), q, nil)
+					} else {
+						_, err = engine.Execute(context.Background(), q)
+					}
+					if err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		close(stop)
+		ingest.Wait()
+		if batcher != nil {
+			batcher.Close()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		vs := engine.Store().ViewStats()
+		name := "unbatched"
+		if batched {
+			name = "batched (MaxInflight=2)"
+		}
+		ti.Rows = append(ti.Rows, []string{
+			name, fmt.Sprintf("%d", workers*4), fmt.Sprintf("%d", appends),
+			fmt.Sprintf("%d", vs.HighWater), fmt.Sprintf("%d", vs.Live),
+			f2(float64(workers*4) / wall.Seconds()),
+		})
+		cfg.logf("  admission-ingest %s done", name)
+	}
+	return []*Table{t, ti}, nil
+}

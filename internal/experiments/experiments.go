@@ -195,6 +195,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"restart", Restart},
 		{"ingest", Ingest},
 		{"plancache", PlanCache},
+		{"admission", Admission},
 	}
 	var all []*Table
 	for _, r := range runners {
@@ -227,6 +228,7 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		"restart":   Restart,
 		"ingest":    Ingest,
 		"plancache": PlanCache,
+		"admission": Admission,
 	}
 	fn, ok := drivers[id]
 	if !ok {

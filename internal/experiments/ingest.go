@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -43,10 +44,10 @@ func Ingest(cfg Config) ([]*Table, error) {
 	q := queriesByName(env, "Qo,m")[0]
 
 	// Warm the engine: offline phase plus the query's memoized trees.
-	if _, err := engine.Execute(q); err != nil {
+	if _, err := engine.Execute(context.Background(), q); err != nil {
 		return nil, err
 	}
-	warm, err := engine.Execute(q)
+	warm, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +86,7 @@ func Ingest(cfg Config) ([]*Table, error) {
 		if epoch != int64(e) {
 			return nil, fmt.Errorf("ingest: append %d published epoch %d", e, epoch)
 		}
-		report, err := engine.Execute(q)
+		report, err := engine.Execute(context.Background(), q)
 		if err != nil {
 			return nil, err
 		}
@@ -106,11 +107,11 @@ func Ingest(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cr, err := cold.Execute(q)
+	cr, err := cold.Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
-	wr, err := engine.Execute(q)
+	wr, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +163,7 @@ func Ingest(cfg Config) ([]*Table, error) {
 		queries     int
 	)
 	for {
-		r, err := engine.Execute(q)
+		r, err := engine.Execute(context.Background(), q)
 		if err != nil {
 			wg.Wait()
 			return nil, err
@@ -194,7 +195,7 @@ func Ingest(cfg Config) ([]*Table, error) {
 func timedQueries(e *core.Engine, q *query.Query, rounds int) (time.Duration, error) {
 	var total time.Duration
 	for i := 0; i < rounds; i++ {
-		r, err := e.Execute(q)
+		r, err := e.Execute(context.Background(), q)
 		if err != nil {
 			return 0, err
 		}

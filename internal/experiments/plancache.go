@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -56,7 +57,7 @@ func PlanCache(cfg Config) ([]*Table, error) {
 	for _, q := range queries {
 		var missPlan time.Duration
 		for run := 0; run < 3; run++ {
-			report, err := engine.Execute(q)
+			report, err := engine.Execute(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}
@@ -98,7 +99,7 @@ func PlanCache(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		for _, q := range queries {
-			report, err := engine.Execute(q)
+			report, err := engine.Execute(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}
@@ -143,7 +144,7 @@ func PlanCache(cfg Config) ([]*Table, error) {
 		go func(q *query.Query) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				report, err := engine.Execute(q)
+				report, err := engine.Execute(context.Background(), q)
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -93,11 +94,11 @@ func Restart(cfg Config) ([]*Table, error) {
 		Note:    "restored runs pay only on-demand R-tree builds; score multisets must match exactly",
 	}
 	for _, q := range queriesByName(env, "Qb,b", "Qo,m", "Qs,m") {
-		cr, err := cold.Execute(q)
+		cr, err := cold.Execute(context.Background(), q)
 		if err != nil {
 			return nil, err
 		}
-		wr, err := warm.Execute(q)
+		wr, err := warm.Execute(context.Background(), q)
 		if err != nil {
 			return nil, err
 		}

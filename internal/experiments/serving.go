@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -50,7 +51,7 @@ func Serving(cfg Config) ([]*Table, error) {
 	}
 	for _, q := range queries {
 		for run := 0; run < 3; run++ {
-			report, err := engine.Execute(q)
+			report, err := engine.Execute(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}
@@ -87,7 +88,7 @@ func Serving(cfg Config) ([]*Table, error) {
 		go func(i int, q *query.Query) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				report, err := engine.Execute(q)
+				report, err := engine.Execute(context.Background(), q)
 				if err != nil {
 					errs[i] = err
 					return

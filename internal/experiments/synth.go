@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -136,7 +137,7 @@ func Fig8Workload(cfg Config) ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				report, err := e.Execute(q)
+				report, err := e.Execute(context.Background(), q)
 				if err != nil {
 					return nil, err
 				}
@@ -210,7 +211,7 @@ func Fig9Strategies(cfg Config) ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				report, err := e.Execute(q)
+				report, err := e.Execute(context.Background(), q)
 				if err != nil {
 					t.Rows = append(t.Rows, []string{star.name, fmt.Sprintf("%d", n), strat.String(),
 						"exceeded", "-", "-", "-", "-"})
@@ -255,7 +256,7 @@ func Fig10Granules(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := e.Execute(q)
+			report, err := e.Execute(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}
@@ -362,7 +363,7 @@ func runTKIJ(cols []*interval.Collection, q *query.Query, g, k int, cfg Config) 
 	if err != nil {
 		return 0, err
 	}
-	report, err := e.Execute(q)
+	report, err := e.Execute(context.Background(), q)
 	if err != nil {
 		return 0, err
 	}
@@ -395,7 +396,7 @@ func EffectOfKSynthetic(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := e.Execute(q)
+			report, err := e.Execute(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}
@@ -442,7 +443,7 @@ func Ablations(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := e.Execute(q)
+			report, err := e.Execute(context.Background(), q)
 			if err != nil {
 				return nil, err
 			}

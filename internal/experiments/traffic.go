@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tkij/internal/core"
@@ -99,7 +100,7 @@ func Fig13TrafficScalability(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := e.ExecuteMapped(q, selfMapping(q.NumVertices))
+			report, err := e.ExecuteMapped(context.Background(), q, selfMapping(q.NumVertices))
 			if err != nil {
 				return nil, err
 			}
@@ -141,7 +142,7 @@ func Fig14TrafficEffectOfK(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := e.ExecuteMapped(q, selfMapping(q.NumVertices))
+			report, err := e.ExecuteMapped(context.Background(), q, selfMapping(q.NumVertices))
 			if err != nil {
 				return nil, err
 			}

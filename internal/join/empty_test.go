@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"testing"
 
 	"tkij/internal/distribute"
@@ -31,7 +32,7 @@ func TestRunEmptyAssignment(t *testing.T) {
 		BucketReducers: map[stats.BucketKey][]int{},
 		ReducerResults: make([]float64, 3),
 	}
-	out, err := Run(q, srcs, grans, nil, assign, 5, mapreduce.Config{}, LocalOptions{})
+	out, err := Run(context.Background(), q, srcs, grans, nil, assign, 5, mapreduce.Config{}, LocalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -119,7 +120,7 @@ func pipeline(t *testing.T, q *query.Query, cols []*interval.Collection, g, k in
 		t.Fatal(err)
 	}
 	srcs, grans := storeSources(t, cols, ms)
-	out, err := Run(q, srcs, grans, tb.Selected, assign, k, mapreduce.Config{Mappers: 3}, opts)
+	out, err := Run(context.Background(), q, srcs, grans, tb.Selected, assign, k, mapreduce.Config{Mappers: 3}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,10 +342,10 @@ func TestRunArgErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	srcs, grans := storeSources(t, cols, ms)
-	if _, err := Run(q, srcs[:1], grans[:1], tb.Selected, assign, 5, mapreduce.Config{}, LocalOptions{}); err == nil {
+	if _, err := Run(context.Background(), q, srcs[:1], grans[:1], tb.Selected, assign, 5, mapreduce.Config{}, LocalOptions{}); err == nil {
 		t.Error("source count mismatch accepted")
 	}
-	if _, err := Run(q, srcs, grans, tb.Selected, assign, 0, mapreduce.Config{}, LocalOptions{}); err == nil {
+	if _, err := Run(context.Background(), q, srcs, grans, tb.Selected, assign, 0, mapreduce.Config{}, LocalOptions{}); err == nil {
 		t.Error("k=0 accepted")
 	}
 }

@@ -82,6 +82,18 @@ type LocalOptions struct {
 	// reach the top-k, so reducers discard such results outright. Zero
 	// is always safe.
 	Floor float64
+	// Share, when non-nil, connects this execution to a batch-scoped
+	// sharing registry (admission batching): per-edge combination
+	// bounds are memoized across every reducer of every batch member.
+	Share *BatchShare
+	// FloorKey, when non-empty alongside Share, is the plan-identity
+	// key under which the cross-reducer score floor is shared with
+	// other batch members. Soundness requires that every execution
+	// using one key has an identical result-score multiset — the
+	// admission layer keys it by canonical plan key, which guarantees
+	// that. Empty keeps the floor private to this execution (bound
+	// memoization still applies).
+	FloorKey string
 }
 
 // floorEps is subtracted from score floors before strict comparisons so
@@ -154,6 +166,18 @@ type plan struct {
 	// avgAgg is set when the aggregator is the normalized sum, enabling
 	// threshold inversion for index boxes.
 	avgAgg bool
+	// edgeSigs are the per-edge predicate scoring signatures, computed
+	// once per Run when a BatchShare is attached (they key the shared
+	// bound memo); nil otherwise.
+	edgeSigs []string
+}
+
+// computeEdgeSigs fills edgeSigs for bound-memo keying.
+func (p *plan) computeEdgeSigs() {
+	p.edgeSigs = make([]string, len(p.q.Edges))
+	for i, e := range p.q.Edges {
+		p.edgeSigs[i] = e.Pred.Signature()
+	}
 }
 
 func newPlan(q *query.Query) *plan {
@@ -279,7 +303,11 @@ func newLocalJoiner(p *plan, k int, opts LocalOptions, srcs []Source, grans []st
 // prepareCombo refreshes the per-edge upper bounds for the given
 // combination: the analytic bound of each edge's predicate over the
 // combination's bucket boxes. Without granulations (grans == nil) the
-// bounds stay at the trivial 1.0.
+// bounds stay at the trivial 1.0. With a BatchShare attached the solve
+// is memoized batch-wide, keyed by exactly its inputs (predicate
+// signature + the box bounds), so overlapping combination sets across
+// batch members — and across this query's own reducers and probe
+// rounds — pay for each bound once.
 func (lj *localJoiner) prepareCombo(combo topbuckets.Combo) {
 	if lj.grans == nil {
 		return
@@ -293,8 +321,18 @@ func (lj *localJoiner) prepareCombo(combo topbuckets.Combo) {
 		teLo, teHi := lj.grans[e.To].Bounds(tb.EndG)
 		fBox := solver.VertexBox{StartLo: fsLo, StartHi: fsHi, EndLo: feLo, EndHi: feHi}
 		tBox := solver.VertexBox{StartLo: tsLo, StartHi: tsHi, EndLo: teLo, EndHi: teHi}
-		_, ub := solver.PredicateBounds(e.Pred, fBox, tBox, solver.Options{MaxNodes: 64, Eps: 0.01})
-		lj.edgeUB[ei] = ub
+		solve := func() float64 {
+			_, ub := solver.PredicateBounds(e.Pred, fBox, tBox, solver.Options{MaxNodes: 64, Eps: 0.01})
+			return ub
+		}
+		if lj.opts.Share != nil && lj.plan.edgeSigs != nil {
+			lj.edgeUB[ei] = lj.opts.Share.edgeUB(edgeBoundKey{
+				sig: lj.plan.edgeSigs[ei],
+				box: [8]float64{fsLo, fsHi, feLo, feHi, tsLo, tsHi, teLo, teHi},
+			}, solve)
+		} else {
+			lj.edgeUB[ei] = solve()
+		}
 	}
 }
 

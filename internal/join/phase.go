@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -97,10 +98,17 @@ type reducerOut struct {
 // store.ColStore tracks the latest epoch per call, so under concurrent
 // Append its BucketItems and SearchBucket can observe different
 // epochs — pin a Store.View instead whenever appends may run.
-func Run(q *query.Query, srcs []Source, grans []stats.Grid,
+//
+// ctx is consulted between the two Map-Reduce jobs (and before the
+// first): a canceled context aborts with ctx.Err() before the next job
+// starts. Individual reduce tasks are not interrupted mid-flight.
+func Run(ctx context.Context, q *query.Query, srcs []Source, grans []stats.Grid,
 	combos []topbuckets.Combo, assign *distribute.Assignment, k int,
 	cfg mapreduce.Config, opts LocalOptions) (*Output, error) {
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("join: canceled before join phase: %w", err)
+	}
 	if len(srcs) != q.NumVertices || len(grans) != q.NumVertices {
 		return nil, fmt.Errorf("join: query %s has %d vertices but %d sources / %d granulations",
 			q.Name, q.NumVertices, len(srcs), len(grans))
@@ -144,13 +152,23 @@ func Run(q *query.Query, srcs []Source, grans []stats.Grid,
 	}
 
 	// The shared global threshold (§3.4's early-termination payoff):
-	// every reducer both consults and raises it.
+	// every reducer both consults and raises it. Under admission
+	// batching the floor is drawn from the batch-scoped registry
+	// instead, so sibling executions with the same plan-identity key
+	// raise and consult one floor together.
 	var shared *SharedFloor
 	if !opts.DisablePruning {
-		shared = NewSharedFloor(opts.Floor)
+		if opts.Share != nil && opts.FloorKey != "" {
+			shared = opts.Share.Floor(opts.FloorKey, opts.Floor)
+		} else {
+			shared = NewSharedFloor(opts.Floor)
+		}
 	}
 
 	plan := newPlan(q)
+	if opts.Share != nil {
+		plan.computeEdgeSigs()
+	}
 	joinJob := mapreduce.Job[bucketRoute, int, routedRef, reducerOut]{
 		Name: "rtj-join",
 		Map: func(in bucketRoute, emit func(int, routedRef)) error {
@@ -191,6 +209,10 @@ func Run(q *query.Query, srcs []Source, grans []stats.Grid,
 	out.RawIntervalsShuffled = int64(joinMetrics.ShuffleRecords - out.RoutedBucketEntries)
 	if shared != nil {
 		out.SharedFloor = shared.Load()
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("join: canceled between join and merge phases: %w", err)
 	}
 
 	// Merge phase (Figure 5e): a single-reducer Map-Reduce job combining

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"sync"
@@ -73,7 +74,7 @@ func TestRoutedReferenceAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	srcs, grans := storeSources(t, cols, ms)
-	out, err := Run(q, srcs, grans, tb.Selected, assign, k, mapreduce.Config{Mappers: 3}, LocalOptions{})
+	out, err := Run(context.Background(), q, srcs, grans, tb.Selected, assign, k, mapreduce.Config{Mappers: 3}, LocalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -112,27 +112,16 @@ func edgeWeights(q *query.Query) []float64 {
 	return nil
 }
 
-// predicateSig serializes a scored predicate (and, for weighted
-// aggregators, the edge's weight): per term the comparator kind, the
-// closed-form difference expression, and the (λ, ρ) tolerances. Two
+// predicateSig serializes a scored predicate (scoring.Predicate's
+// Signature — the comparator kinds, difference expressions and (λ, ρ)
+// tolerances) and, for weighted aggregators, the edge's weight. Two
 // predicates with equal signatures score every interval pair
 // identically, regardless of the Name they were built under.
 func predicateSig(p *scoring.Predicate, weights []float64, edge int) string {
-	var b strings.Builder
 	if weights != nil && edge < len(weights) {
-		fmt.Fprintf(&b, "w%g~", weights[edge])
+		return fmt.Sprintf("w%g~%s", weights[edge], p.Signature())
 	}
-	for ti, t := range p.Terms {
-		if ti > 0 {
-			b.WriteByte('~')
-		}
-		fmt.Fprintf(&b, "%d", int(t.Kind))
-		for _, c := range t.Diff.Coef {
-			fmt.Fprintf(&b, ",%g", c)
-		}
-		fmt.Fprintf(&b, ",%g,%g,%g", t.Diff.Const, t.P.Lambda, t.P.Rho)
-	}
-	return b.String()
+	return p.Signature()
 }
 
 // permute invokes fn with every permutation of p (Heap's algorithm,

@@ -170,6 +170,14 @@ type Store struct {
 	epoch        int64
 	intervals    int
 	compactLimit int
+
+	// liveViews counts pinned Views not yet Released; viewHighWater is
+	// the maximum liveViews ever reached. Under continuous ingest every
+	// live view keeps its epoch's touched buckets reachable, so the
+	// admission layer uses these to verify that batching bounds the
+	// number of epochs alive at once (see ViewStats).
+	liveViews     atomic.Int64
+	viewHighWater atomic.Int64
 }
 
 // Build partitions each collection's intervals under its matrix's
@@ -317,27 +325,70 @@ func (s *Store) Intervals() int {
 
 // View pins the latest epoch: the returned View serves exactly the
 // buckets visible now, unaffected by any Append published later. The
-// engine pins one View per query at admission, so a query never
-// observes a partial batch or mixes epochs across collections.
+// engine pins one View per query at admission (and the batching layer
+// pins one View per batch), so a query never observes a partial batch
+// or mixes epochs across collections. Every pinned View counts as live
+// until Release is called on it (see ViewStats).
 func (s *Store) View() *View {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	v := &View{epoch: s.epoch, cols: make([]*ColView, len(s.cols))}
+	v := &View{store: s, epoch: s.epoch, cols: make([]*ColView, len(s.cols))}
 	for i, cs := range s.cols {
 		v.cols[i] = &ColView{cs: cs, v: cs.cur.Load()}
+	}
+	live := s.liveViews.Add(1)
+	for {
+		hw := s.viewHighWater.Load()
+		if live <= hw || s.viewHighWater.CompareAndSwap(hw, live) {
+			break
+		}
 	}
 	return v
 }
 
+// ViewStats describes the store's pinned-view accounting.
+type ViewStats struct {
+	// Live is the number of Views pinned and not yet Released. Each one
+	// keeps its epoch's bucket state reachable.
+	Live int64
+	// HighWater is the maximum Live ever observed — the regression
+	// metric for "batching bounds concurrent epochs": a busy batcher
+	// over continuous ingest must keep it at its in-flight batch bound,
+	// not at the query count.
+	HighWater int64
+}
+
+// ViewStats returns the live-view count and its high-water mark.
+func (s *Store) ViewStats() ViewStats {
+	return ViewStats{Live: s.liveViews.Load(), HighWater: s.viewHighWater.Load()}
+}
+
 // View is a consistent multi-collection snapshot of the store at one
-// epoch. It is immutable and safe for concurrent use.
+// epoch. Its bucket state is immutable and safe for concurrent use;
+// Release retires the view from the store's live accounting.
 type View struct {
-	epoch int64
-	cols  []*ColView
+	store    *Store
+	epoch    int64
+	cols     []*ColView
+	released atomic.Bool
 }
 
 // Epoch returns the epoch the view was pinned at.
 func (v *View) Epoch() int64 { return v.epoch }
+
+// Release retires the view: the store's live-view count drops and the
+// caller promises not to probe the view again. Releasing is what lets
+// the batching layer bound how many epochs stay alive under continuous
+// ingest — a view is cheap, but an unreleased one pins every bucket its
+// epoch could see. Release is idempotent; a nil view is a no-op.
+func (v *View) Release() {
+	if v == nil || v.store == nil {
+		return
+	}
+	if !v.released.Swap(true) {
+		v.store.liveViews.Add(-1)
+	}
+}
 
 // Col returns collection i's pinned view; it implements the join's
 // bucket Source.

@@ -372,3 +372,42 @@ func TestConcurrentAppendAndSearch(t *testing.T) {
 		t.Fatalf("final epoch %d, want 40", s.Epoch())
 	}
 }
+
+// View pinning must be accounted: every View counts as live until
+// Released (idempotently), and the high-water mark tracks the peak.
+func TestViewStatsAccounting(t *testing.T) {
+	cols := synthCols(1, 100, 21)
+	s, _ := buildStore(t, cols, 4)
+
+	if vs := s.ViewStats(); vs.Live != 0 || vs.HighWater != 0 {
+		t.Fatalf("fresh store view stats = %+v, want zeros", vs)
+	}
+	v1 := s.View()
+	v2 := s.View()
+	v3 := s.View()
+	if vs := s.ViewStats(); vs.Live != 3 || vs.HighWater != 3 {
+		t.Fatalf("after 3 pins view stats = %+v, want live=3 hw=3", vs)
+	}
+	v2.Release()
+	v2.Release() // idempotent: a double release must not underflow
+	if vs := s.ViewStats(); vs.Live != 2 || vs.HighWater != 3 {
+		t.Fatalf("after release view stats = %+v, want live=2 hw=3", vs)
+	}
+	v4 := s.View()
+	if vs := s.ViewStats(); vs.Live != 3 || vs.HighWater != 3 {
+		t.Fatalf("re-pin view stats = %+v, want live=3 hw=3", vs)
+	}
+	v1.Release()
+	v3.Release()
+	v4.Release()
+	if vs := s.ViewStats(); vs.Live != 0 || vs.HighWater != 3 {
+		t.Fatalf("drained view stats = %+v, want live=0 hw=3", vs)
+	}
+	var nilView *View
+	nilView.Release() // nil view: no-op
+	// A released view's bucket data stays readable — release retires
+	// accounting, not the snapshot.
+	if v1.Epoch() != 0 {
+		t.Fatalf("released view epoch = %d", v1.Epoch())
+	}
+}
