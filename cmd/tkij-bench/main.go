@@ -12,14 +12,16 @@
 //	tkij-bench -exp ingest         # streaming appends via epoch-based bucket deltas
 //	tkij-bench -exp plancache      # plan cache: hit/revalidate/miss latency
 //	tkij-bench -exp admission      # admission batching: QPS vs unbatched, bounded epochs
+//	tkij-bench -exp mmap           # zero-copy mmap restore vs heap restore
+//	tkij-bench -exp mmap -json     # same, as a JSON array of tables
 //
 // Experiments: stats fig7 fig8 fig9 fig10 fig11 sec4.2.6 fig12 fig13
-// fig14 ablation serving restart ingest plancache admission all. The
-// serving, restart, ingest, plancache and admission experiments go
-// beyond the paper: serving measures the dataset-resident bucket
-// store's repeated-query and concurrent-query paths on one warm engine;
-// restart measures restoring the offline phase from a snapshot file
-// instead of recomputing it; ingest measures streaming appends
+// fig14 ablation serving restart ingest plancache admission mmap all.
+// The serving, restart, ingest, plancache, admission and mmap
+// experiments go beyond the paper: serving measures the dataset-resident
+// bucket store's repeated-query and concurrent-query paths on one warm
+// engine; restart measures restoring the offline phase from a snapshot
+// file instead of recomputing it; ingest measures streaming appends
 // (per-batch latency, delta-tree accounting, compaction cost, queries
 // under concurrent ingest); plancache measures the query-plan cache
 // (cold-miss vs warm-hit plan latency, revalidation across append epoch
@@ -27,10 +29,18 @@
 // measures the batching layer (aggregate throughput and queue wait vs
 // unbatched execution at varying concurrency and window sizes, shared
 // vs private cross-query floors, and the bounded live-epoch-view count
-// under continuous ingest).
+// under continuous ingest); mmap measures the zero-copy restore path
+// (restore wall time vs dataset size against the heap decoder,
+// allocations on the warm probe and query paths, and latency
+// percentiles under admission load — BENCH_mmap.json holds a committed
+// run).
+//
+// -json emits the tables as a JSON array instead of aligned text, for
+// committing benchmark runs or diffing them across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,10 +50,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig7..fig14, stats, sec4.2.6, ablation, serving, restart, ingest, plancache, admission, all)")
+		exp      = flag.String("exp", "all", "experiment id (fig7..fig14, stats, sec4.2.6, ablation, serving, restart, ingest, plancache, admission, mmap, all)")
 		scale    = flag.Float64("scale", 1, "dataset scale multiplier")
 		reducers = flag.Int("reducers", 24, "reduce tasks")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
+		asJSON   = flag.Bool("json", false, "emit tables as a JSON array instead of aligned text")
 	)
 	flag.Parse()
 
@@ -63,6 +74,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tkij-bench:", err)
 		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, "tkij-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	for _, t := range tables {
 		t.Fprint(os.Stdout)

@@ -13,6 +13,7 @@ import (
 	"tkij/internal/interval"
 	"tkij/internal/join"
 	"tkij/internal/mapreduce"
+	"tkij/internal/mmapstore"
 	"tkij/internal/plancache"
 	"tkij/internal/query"
 	"tkij/internal/snapshot"
@@ -51,6 +52,16 @@ type Options struct {
 	// TopBuckets + distribution phases entirely; epoch bumps from
 	// Append revalidate cached plans incrementally.
 	PlanCache plancache.Options
+	// Mmap selects the zero-copy restore path in OpenEngine: the
+	// snapshot file is mapped read-only and its sealed buckets are
+	// served straight from the mapping through the flat sorted-endpoint
+	// kernel — no interval is decoded into the heap and the first query
+	// runs with no store materialization. The O(dataset) content
+	// verification (checksum, per-record checks) runs in the background;
+	// a damaged file fails the first query admission after discovery
+	// instead of the open. Ignored by NewEngine (a cold build has no
+	// file to map).
+	Mmap bool
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +92,10 @@ type Engine struct {
 	matrices []*stats.Matrix
 	store    *store.Store
 	restored bool
+	// mapped is the snapshot mapping backing a zero-copy restored store
+	// (Options.Mmap); nil for heap-built and heap-restored engines. Its
+	// background verification outcome gates query admission in prepared.
+	mapped *mmapstore.Reader
 
 	// StatsMetrics describes the statistics-collection job after
 	// PrepareStats (or the first Execute) has run. Like StatsDuration
@@ -136,16 +151,53 @@ func OpenEngine(cols []*interval.Collection, snapshotPath string, opts Options) 
 		return nil, err
 	}
 	start := time.Now()
-	st, ms, err := snapshot.Load(snapshotPath)
+	var (
+		st *store.Store
+		ms []*stats.Matrix
+	)
+	if opts.Mmap {
+		st, ms, err = e.openMapped(snapshotPath)
+	} else {
+		st, ms, err = snapshot.Load(snapshotPath)
+	}
 	if err != nil {
 		return nil, err
 	}
+	if err := adoptChecks(cols, snapshotPath, ms); err != nil {
+		if opts.Mmap {
+			st.Close() // drop the store's mapping reference
+			e.mapped = nil
+		}
+		return nil, err
+	}
+	e.matrices = ms
+	e.store = st
+	// Delta sections were replayed (inside snapshot.Load, or by
+	// openMapped) under the store's default compaction threshold; the
+	// engine's limit governs appends from here on. Bucket sealing
+	// structure may therefore differ from the live engine that wrote the
+	// deltas under a custom CompactLimit — answers are identical either
+	// way, sealing only decides which probes pay a lazy rebuild.
+	st.SetCompactLimit(e.opts.CompactLimit)
+	e.restored = true
+	// The snapshot's granulation is what the persisted partition was
+	// built under; reflect it in the engine's options so Options()
+	// reports the g actually in effect, not a conflicting flag value.
+	e.opts.Granules = ms[0].Gran.G
+	e.StatsDuration = time.Since(start)
+	return e, nil
+}
+
+// adoptChecks verifies a restored (matrices, store) pair against the
+// live collections and widens the matrix extents from them — the cheap
+// dataset-identity invariants shared by both restore paths.
+func adoptChecks(cols []*interval.Collection, snapshotPath string, ms []*stats.Matrix) error {
 	if len(ms) != len(cols) {
-		return nil, fmt.Errorf("core: snapshot %s holds %d collections, engine has %d", snapshotPath, len(ms), len(cols))
+		return fmt.Errorf("core: snapshot %s holds %d collections, engine has %d", snapshotPath, len(ms), len(cols))
 	}
 	for i, m := range ms {
 		if m.Total() != cols[i].Len() {
-			return nil, fmt.Errorf("core: snapshot %s collection %d has %d intervals, dataset has %d — snapshot is for a different dataset",
+			return fmt.Errorf("core: snapshot %s collection %d has %d intervals, dataset has %d — snapshot is for a different dataset",
 				snapshotPath, i, m.Total(), cols[i].Len())
 		}
 		// The snapshot does not persist endpoint extents; re-derive them
@@ -155,22 +207,66 @@ func OpenEngine(cols []*interval.Collection, snapshotPath string, opts Options) 
 		cs := cols[i].ComputeStats()
 		m.Widen(cs.MinStart, cs.MaxEnd)
 	}
-	e.matrices = ms
-	e.store = st
-	// Delta sections were replayed inside snapshot.Load under the
-	// store's default compaction threshold; the engine's limit governs
-	// appends from here on. Bucket sealing structure may therefore
-	// differ from the live engine that wrote the deltas under a custom
-	// CompactLimit — answers are identical either way, sealing only
-	// decides which probes pay a lazy rebuild.
-	st.SetCompactLimit(e.opts.CompactLimit)
-	e.restored = true
-	// The snapshot's granulation is what the persisted partition was
-	// built under; reflect it in the engine's options so Options()
-	// reports the g actually in effect, not a conflicting flag value.
-	e.opts.Granules = ms[0].Gran.G
-	e.StatsDuration = time.Since(start)
-	return e, nil
+	return nil
+}
+
+// openMapped is the zero-copy restore: the snapshot is mapped
+// read-only and structurally validated (O(buckets), not O(intervals)),
+// the sealed partition is assembled over the mapping with the flat
+// sorted-endpoint kernel instead of R-trees, delta sections are
+// replayed through the ordinary append path (copying just the deltas to
+// the heap, exactly as live ingest would have), and the O(dataset)
+// content verification is left running in the background — prepareLocked
+// surfaces its failure at the next query admission.
+func (e *Engine) openMapped(path string) (*store.Store, []*stats.Matrix, error) {
+	rd, err := mmapstore.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := rd.Cols()
+	mcols := make([]store.MappedCol, len(cols))
+	for i, c := range cols {
+		mb := make([]store.MappedBucket, len(c.Buckets))
+		for j, b := range c.Buckets {
+			mb[j] = store.MappedBucket{StartG: b.StartG, EndG: b.EndG, Items: b.Items}
+		}
+		mcols[i] = store.MappedCol{Col: c.Col, Gran: c.Gran, Buckets: mb}
+	}
+	st, err := store.BuildMapped(mcols, rd)
+	if err != nil {
+		rd.Close()
+		return nil, nil, err
+	}
+	ms := rd.Matrices()
+	for _, d := range rd.Deltas() {
+		// Mirror the heap decoder's replay: matrices incrementally, the
+		// store through Append (which validates each record — delta
+		// payloads are the one content slice checked on the open path,
+		// and they are O(batch), not O(dataset)).
+		if _, err := st.Append(d.Col, d.Items); err != nil {
+			st.Close()
+			rd.Close()
+			return nil, nil, fmt.Errorf("core: snapshot %s: replaying delta epoch %d: %w", path, d.Epoch, err)
+		}
+		for _, iv := range d.Items {
+			ms[d.Col].Add(iv)
+		}
+	}
+	if len(rd.Deltas()) > 0 {
+		for i, m := range ms {
+			if err := m.Validate(); err != nil {
+				st.Close()
+				rd.Close()
+				return nil, nil, fmt.Errorf("core: snapshot %s: matrix %d after delta replay: %w", path, i, err)
+			}
+		}
+	}
+	rd.VerifyAsync()
+	e.mapped = rd
+	// Drop the opener reference: the store (plus any pinned views and
+	// the background verifier) now carries the mapping.
+	rd.Close()
+	return st, ms, nil
 }
 
 // SaveSnapshot persists the offline phase (matrices + bucket
@@ -191,6 +287,31 @@ func (e *Engine) SaveSnapshot(path string) error {
 		return err
 	}
 	return snapshot.WriteImage(path, img)
+}
+
+// Close releases the engine's resources beyond the GC's reach — today
+// that is the snapshot mapping behind a zero-copy restore
+// (OpenEngine with Options.Mmap). The mapping is actually unmapped
+// only once in-flight pinned views release too. Heap-built and
+// heap-restored engines have nothing to release; Close is a no-op for
+// them, and idempotent everywhere. Executing queries after Close is a
+// programming error on a mapped engine (the store's bucket memory may
+// be gone).
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.store != nil {
+		e.store.Close()
+	}
+	e.mapped = nil
+}
+
+// Mapped reports whether this engine serves sealed buckets straight
+// from a snapshot mapping (a zero-copy OpenEngine restore).
+func (e *Engine) Mapped() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mapped != nil
 }
 
 // Restored reports whether this engine was opened from a snapshot
@@ -224,6 +345,14 @@ func (e *Engine) PrepareStats() error {
 
 func (e *Engine) prepareLocked() error {
 	if e.store != nil {
+		if e.mapped != nil {
+			// A zero-copy restore defers the O(dataset) content checks to
+			// a background verifier; once it finds damage, every admission
+			// from then on refuses rather than serving corrupt buckets.
+			if err := e.mapped.Err(); err != nil {
+				return fmt.Errorf("core: mapped snapshot failed verification: %w", err)
+			}
+		}
 		return nil
 	}
 	start := time.Now()
@@ -274,7 +403,15 @@ func (e *Engine) prepareLocked() error {
 func (e *Engine) InvalidateStore() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.store != nil {
+		// A zero-copy store holds a reference on its snapshot mapping;
+		// dropping the store must drop that too or the rebuild leaks the
+		// mapping for the process lifetime. (Pinned in-flight views keep
+		// their own references, so this never unmaps under a probe.)
+		e.store.Close()
+	}
 	e.store = nil
+	e.mapped = nil
 	// The rebuild restarts the epoch sequence at 0, and the mutation
 	// that prompted it may have shrunk buckets — both outside the plan
 	// cache's append-only revalidation model, so cached plans must go.

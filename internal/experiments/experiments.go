@@ -196,6 +196,7 @@ func All(cfg Config) ([]*Table, error) {
 		{"ingest", Ingest},
 		{"plancache", PlanCache},
 		{"admission", Admission},
+		{"mmap", Mmap},
 	}
 	var all []*Table
 	for _, r := range runners {
@@ -229,6 +230,7 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		"ingest":    Ingest,
 		"plancache": PlanCache,
 		"admission": Admission,
+		"mmap":      Mmap,
 	}
 	fn, ok := drivers[id]
 	if !ok {

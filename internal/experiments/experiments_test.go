@@ -31,6 +31,7 @@ func TestAllDriversAtTinyScale(t *testing.T) {
 		{"fig14", Fig14TrafficEffectOfK, 1},
 		{"ablation", Ablations, 1},
 		{"plancache", PlanCache, 3},
+		{"mmap", Mmap, 3},
 	}
 	for _, d := range drivers {
 		d := d

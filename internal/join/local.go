@@ -275,6 +275,48 @@ type localJoiner struct {
 	// star queries whose edges mostly cannot score at all in a given
 	// combination.
 	edgeUB []float64
+
+	// levels is per-plan-position probe scratch: the visit closure handed
+	// to SearchBucket is built once per level here and reused across
+	// every combination, probe round and bucket, so a warm probe
+	// allocates nothing (a fresh closure per recurse call escaped to the
+	// heap on every single bucket probe).
+	levels []probeLevel
+}
+
+// probeLevel is the reusable per-level probe state: recurse parks the
+// level's loop variables here and hands the prebuilt fn to the bucket
+// search. Levels nest strictly (recursion only deepens), so each
+// position's state is never clobbered while a shallower probe is using
+// it.
+type probeLevel struct {
+	lj      *localJoiner
+	pos     int
+	combo   topbuckets.Combo
+	items   []interval.Interval
+	thr     float64
+	pruning bool
+	fn      func(ref int32) bool
+}
+
+// visit scores one candidate binding for the level's vertex and recurses.
+func (l *probeLevel) visit(iv interval.Interval) {
+	lj := l.lj
+	p := lj.plan
+	lj.tuple[p.order[l.pos]] = iv
+	lj.stats.TuplesExamined++
+	for _, ei := range p.bindEdges[l.pos] {
+		e := p.q.Edges[ei]
+		lj.partials[ei] = e.Pred.Score(lj.tuple[e.From], lj.tuple[e.To])
+	}
+	if l.pruning && lj.partialUpperBound() <= l.thr {
+		lj.stats.PartialsPruned++
+	} else {
+		lj.recurse(l.pos+1, l.combo)
+	}
+	for _, ei := range p.bindEdges[l.pos] {
+		lj.partials[ei] = -1
+	}
 }
 
 func newLocalJoiner(p *plan, k int, opts LocalOptions, srcs []Source, grans []stats.Grid, shared *SharedFloor) *localJoiner {
@@ -296,6 +338,16 @@ func newLocalJoiner(p *plan, k int, opts LocalOptions, srcs []Source, grans []st
 	}
 	for i := range lj.edgeUB {
 		lj.edgeUB[i] = 1
+	}
+	lj.levels = make([]probeLevel, p.q.NumVertices)
+	for pos := range lj.levels {
+		l := &lj.levels[pos]
+		l.lj = lj
+		l.pos = pos
+		l.fn = func(ref int32) bool {
+			l.visit(l.items[ref])
+			return !lj.stop
+		}
 	}
 	return lj
 }
@@ -525,26 +577,15 @@ func (lj *localJoiner) recurse(pos int, combo topbuckets.Combo) {
 		return
 	}
 
-	visit := func(iv interval.Interval) {
-		lj.tuple[v] = iv
-		lj.stats.TuplesExamined++
-		for _, ei := range p.bindEdges[pos] {
-			e := p.q.Edges[ei]
-			lj.partials[ei] = e.Pred.Score(lj.tuple[e.From], lj.tuple[e.To])
-		}
-		if pruning && lj.partialUpperBound() <= thr {
-			lj.stats.PartialsPruned++
-		} else {
-			lj.recurse(pos+1, combo)
-		}
-		for _, ei := range p.bindEdges[pos] {
-			lj.partials[ei] = -1
-		}
-	}
+	l := &lj.levels[pos]
+	l.combo = combo
+	l.items = items
+	l.thr = thr
+	l.pruning = pruning
 
 	if lj.opts.DisableIndex {
 		for _, iv := range items {
-			visit(iv)
+			l.visit(iv)
 			if lj.stop {
 				return
 			}
@@ -552,10 +593,7 @@ func (lj *localJoiner) recurse(pos int, combo topbuckets.Combo) {
 		return
 	}
 	box := lj.candidateBox(pos, vmin)
-	lj.srcs[v].SearchBucket(b.StartG, b.EndG, box, func(ref int32) bool {
-		visit(items[ref])
-		return !lj.stop
-	})
+	lj.srcs[v].SearchBucket(b.StartG, b.EndG, box, l.fn)
 }
 
 // requiredEdgeScore inverts the aggregate threshold into the minimum

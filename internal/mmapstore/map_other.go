@@ -1,0 +1,24 @@
+//go:build !unix
+
+package mmapstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// Open on platforms without the unix mmap surface falls back to reading
+// the file into memory. The reader behaves identically — same
+// validation split, same refcounted lifecycle (Release at zero simply
+// drops the buffer to the GC) — it just isn't zero-copy from disk.
+func Open(path string) (*Reader, error) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mmapstore: %w", err)
+	}
+	r, err := OpenBytes(img)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return r, nil
+}

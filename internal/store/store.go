@@ -49,25 +49,41 @@ func (m *treeMemo) get(items []interval.Interval, built, hits *atomic.Int64) *rt
 }
 
 // bucket is one bucket as visible at one epoch. It is immutable after
-// publication: items[:sealed] is the sealed prefix covered by the base
-// tree (shared with earlier epochs until a compaction reseals the
-// bucket), items[sealed:] is the epoch's delta covered by the small
-// delta tree. Later epochs may extend the shared backing array beyond
-// len(items); the visible prefix is never rewritten.
+// publication: items[:sealed] is the sealed prefix covered by either
+// the base R-tree or the flat sorted-endpoint index (shared with
+// earlier epochs until a compaction reseals the bucket), items[sealed:]
+// is the epoch's delta covered by the small delta tree. Later epochs
+// may extend the shared backing array beyond len(items); the visible
+// prefix is never rewritten.
+//
+// Exactly one of base/flat is non-nil when sealed > 0: heap-built
+// partitions (Build, ReadColStore) index sealed prefixes with R-trees,
+// mapped partitions (BuildMapped) with the flat kernel — whose items
+// may alias a read-only snapshot mapping, which is why the append path
+// copies such a bucket before extending it.
 type bucket struct {
 	items  []interval.Interval
 	sealed int
-	base   *treeMemo // over items[:sealed]; nil iff sealed == 0
+	base   *treeMemo // R-tree over items[:sealed]; see invariant above
+	flat   *flatMemo // flat index over items[:sealed]; see invariant above
 	delta  *treeMemo // over items[sealed:]; nil iff sealed == len(items)
 }
 
-// search probes the bucket's sealed and delta trees with box, invoking
-// fn with indexes into items. fn returning false stops the probe.
+// search probes the bucket's sealed index (flat kernel or base R-tree)
+// and delta tree with box, invoking fn with indexes into items. fn
+// returning false stops the probe.
 func (b *bucket) search(cs *ColStore, box rtree.Rect, fn func(ref int32) bool) {
 	if b.sealed > 0 {
-		t := b.base.get(b.items[:b.sealed], &cs.treesBuilt, &cs.treeHits)
-		if !t.Search(box, func(pt rtree.Point) bool { return fn(pt.Ref) }) {
-			return
+		if b.flat != nil {
+			idx := b.flat.get(b.items[:b.sealed], &cs.flatBuilt, &cs.treeHits)
+			if !idx.search(box, b.items[:b.sealed], fn) {
+				return
+			}
+		} else {
+			t := b.base.get(b.items[:b.sealed], &cs.treesBuilt, &cs.treeHits)
+			if !t.Search(box, func(pt rtree.Point) bool { return fn(pt.Ref) }) {
+				return
+			}
 		}
 	}
 	if b.sealed < len(b.items) {
@@ -100,6 +116,7 @@ type ColStore struct {
 
 	treesBuilt      atomic.Int64
 	deltaTreesBuilt atomic.Int64
+	flatBuilt       atomic.Int64
 	treeHits        atomic.Int64
 	compactions     atomic.Int64
 }
@@ -141,7 +158,9 @@ func (cs *ColStore) SearchBucket(startG, endG int, box rtree.Rect, fn func(ref i
 // also probes the delta; BucketTree exists for tests and diagnostics.
 func (cs *ColStore) BucketTree(startG, endG int) *rtree.Tree {
 	b := cs.cur.Load().buckets[gkey{startG, endG}]
-	if b == nil || b.sealed == 0 {
+	if b == nil || b.sealed == 0 || b.base == nil {
+		// base == nil with sealed > 0 is a mapped bucket: its sealed
+		// prefix is probed through the flat kernel, there is no R-tree.
 		return nil
 	}
 	return b.base.get(b.items[:b.sealed], &cs.treesBuilt, &cs.treeHits)
@@ -178,6 +197,25 @@ type Store struct {
 	// number of epochs alive at once (see ViewStats).
 	liveViews     atomic.Int64
 	viewHighWater atomic.Int64
+
+	// region, when non-nil, is the refcounted mapping the sealed bucket
+	// slices alias (BuildMapped). The store holds one reference until
+	// Close; every pinned View holds another, so the mapping outlives
+	// any probe in flight. Heap-built stores leave it nil.
+	region Region
+	closed atomic.Bool
+}
+
+// Close releases the store's reference on the backing mapped region,
+// if any. The mapping is actually unmapped only once every pinned View
+// has also been Released. Probing the store's latest-epoch accessors
+// (ColStore methods) after Close without a pinned View is a caller
+// error — query paths always pin a View. Close is idempotent; a
+// heap-built store's Close is a no-op.
+func (s *Store) Close() {
+	if s.region != nil && !s.closed.Swap(true) {
+		s.region.Release()
+	}
 }
 
 // Build partitions each collection's intervals under its matrix's
@@ -276,18 +314,29 @@ func (s *Store) Append(col int, ivs []interval.Interval) (int64, error) {
 		if ob := old.buckets[k]; ob != nil {
 			// Extending the latest epoch's slice is safe: earlier epochs
 			// hold shorter prefixes of the same array and the visible
-			// prefix is never rewritten.
+			// prefix is never rewritten. A mapped bucket's slice is
+			// clipped (cap == len), so the first append relocates it to
+			// the heap instead of writing into the read-only mapping;
+			// the carried-over flat index keeps serving the sealed
+			// prefix — the values are identical, only the address moved.
 			nb.items = append(ob.items, add...)
 			nb.sealed = ob.sealed
 			nb.base = ob.base
+			nb.flat = ob.flat
 		} else {
 			nb.items = add
 		}
 		if deltaLen := len(nb.items) - nb.sealed; deltaLen >= s.compactLimit || deltaLen > nb.sealed {
-			// Reseal: the whole bucket is covered by one tree again,
-			// rebuilt lazily on its next probe.
+			// Reseal: the whole bucket is covered by one sealed index
+			// again, rebuilt lazily on its next probe — an R-tree for
+			// heap buckets, a fresh flat index for mapped ones (once
+			// flat, a bucket stays on the flat kernel).
 			nb.sealed = len(nb.items)
-			nb.base = &treeMemo{}
+			if nb.flat != nil {
+				nb.flat = &flatMemo{}
+			} else {
+				nb.base = &treeMemo{}
+			}
 			nb.delta = nil
 			cs.compactions.Add(1)
 		} else {
@@ -335,6 +384,12 @@ func (s *Store) View() *View {
 	v := &View{store: s, epoch: s.epoch, cols: make([]*ColView, len(s.cols))}
 	for i, cs := range s.cols {
 		v.cols[i] = &ColView{cs: cs, v: cs.cur.Load()}
+	}
+	if s.region != nil {
+		// The view pins the mapped region its bucket slices alias: the
+		// mapping can only be unmapped after the last Release, so a
+		// probe mid-flight never reads unmapped memory.
+		s.region.Retain()
 	}
 	live := s.liveViews.Add(1)
 	for {
@@ -387,6 +442,9 @@ func (v *View) Release() {
 	}
 	if !v.released.Swap(true) {
 		v.store.liveViews.Add(-1)
+		if v.store.region != nil {
+			v.store.region.Release()
+		}
 	}
 }
 
@@ -444,8 +502,12 @@ type Stats struct {
 	// DeltaTreesBuilt counts the small per-epoch delta trees built over
 	// appended suffixes.
 	DeltaTreesBuilt int64
-	// TreeHits counts memoized R-tree lookups (base or delta) that
-	// reused an existing tree.
+	// FlatIndexesBuilt counts flat sorted-endpoint indexes built over
+	// mapped sealed buckets (the zero-copy path's sibling of
+	// TreesBuilt, including rebuilds forced by compaction).
+	FlatIndexesBuilt int64
+	// TreeHits counts memoized sealed-index lookups (R-tree, flat
+	// index, or delta tree) that reused an existing structure.
 	TreeHits int64
 	// Compactions counts bucket reseals triggered by the compaction
 	// threshold.
@@ -469,6 +531,7 @@ func (s *Store) Snapshot() Stats {
 		}
 		st.TreesBuilt += cs.treesBuilt.Load()
 		st.DeltaTreesBuilt += cs.deltaTreesBuilt.Load()
+		st.FlatIndexesBuilt += cs.flatBuilt.Load()
 		st.TreeHits += cs.treeHits.Load()
 		st.Compactions += cs.compactions.Load()
 	}
