@@ -1,0 +1,27 @@
+# Developer entry points. CI runs the same commands (plus staticcheck
+# and govulncheck, which need network to install — see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test vet fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# vet = the toolchain's standard passes + the repo's invariant
+# analyzers (docs/INVARIANTS.md).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/tkij-vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+# check is the pre-push gate: everything a PR must pass locally.
+check: fmt build vet test
+	@echo "check: OK"

@@ -21,11 +21,11 @@ import (
 // benchScale keeps each figure benchmark in the seconds range.
 const benchScale = 0.05
 
-func runExperiment(b *testing.B, fn func(experiments.Config) ([]*experiments.Table, error)) {
+func runExperiment(b *testing.B, fn func(context.Context, experiments.Config) ([]*experiments.Table, error)) {
 	b.Helper()
 	cfg := experiments.Config{Scale: benchScale, Reducers: 8}
 	for i := 0; i < b.N; i++ {
-		tables, err := fn(cfg)
+		tables, err := fn(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -40,10 +40,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tkij/internal/experiments"
 )
@@ -62,16 +66,24 @@ func main() {
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}
+	// Ctrl-C cancels the run cleanly instead of tearing mid-experiment;
+	// the context flows through every engine Execute below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var (
 		tables []*experiments.Table
 		err    error
 	)
 	if *exp == "all" {
-		tables, err = experiments.All(cfg)
+		tables, err = experiments.All(ctx, cfg)
 	} else {
-		tables, err = experiments.ByID(*exp, cfg)
+		tables, err = experiments.ByID(ctx, *exp, cfg)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tkij-bench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "tkij-bench:", err)
 		os.Exit(1)
 	}

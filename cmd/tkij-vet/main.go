@@ -1,0 +1,137 @@
+// Command tkij-vet runs the repo's invariant checkers over the module:
+// pinrelease (every pin/view/mapping ref released on every path),
+// mmapescape (unsafe confined to the mmap fence), ctxflow (serving
+// packages thread the incoming context), and detmerge (map ranges
+// feeding merged or encoded output sort before use). It exits non-zero
+// on any unsuppressed diagnostic and is wired into CI as a hard gate
+// alongside `go vet` (which supplies the toolchain's standard passes —
+// this driver runs only the repo-specific invariants).
+//
+// Usage:
+//
+//	tkij-vet [-list] [-q] [packages]
+//
+// Packages default to ./... relative to the current directory; the
+// only pattern understood is a directory path or the literal ./...
+// suffix. Suppressions use `//tkij:ignore <analyzer> -- <reason>` and
+// are counted in the summary so they stay visible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tkij/internal/lint/analysis"
+	"tkij/internal/lint/ctxflow"
+	"tkij/internal/lint/detmerge"
+	"tkij/internal/lint/loader"
+	"tkij/internal/lint/mmapescape"
+	"tkij/internal/lint/pinrelease"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		pinrelease.Analyzer,
+		mmapescape.Analyzer,
+		ctxflow.Analyzer,
+		detmerge.Analyzer,
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	quiet := flag.Bool("q", false, "print diagnostics only, no summary")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if err := run(flag.Args(), *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "tkij-vet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, quiet bool) error {
+	l, err := loader.New(".")
+	if err != nil {
+		return err
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		return err
+	}
+
+	var diags []analysis.Diagnostic
+	suppressed := 0
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			return err
+		}
+		for _, a := range analyzers() {
+			pass := analysis.NewPass(a, l.Fset(), pkg.Files, pkg.Types, pkg.Info)
+			if err := a.Run(pass); err != nil {
+				return fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+			suppressed += pass.Suppressed()
+		}
+	}
+
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "tkij-vet: %d package(s), %d diagnostic(s), %d suppressed\n",
+			len(dirs), len(diags), suppressed)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// expand turns the command-line patterns into package directories.
+// Supported forms: a directory path, or a path ending in /... which
+// walks recursively. No patterns means ./...
+func expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		var batch []string
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "." || root == "" {
+				root = "."
+			}
+			var err error
+			batch, err = loader.TargetDirs(root)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			batch = []string{pat}
+		}
+		for _, d := range batch {
+			abs, err := filepath.Abs(d)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[abs] {
+				seen[abs] = true
+				dirs = append(dirs, abs)
+			}
+		}
+	}
+	return dirs, nil
+}

@@ -108,6 +108,11 @@ type Stats struct {
 
 // member is one admitted query waiting for (or riding) a batch.
 type member struct {
+	// The stored context is sanctioned: Submit blocks until the batch
+	// goroutine resolves the member, so the context never outlives the
+	// Submit call that supplied it — it is a handoff across the
+	// queue/dispatcher boundary, not storage.
+	//tkij:ignore ctxflow -- context crosses the Submit->dispatcher goroutine handoff and dies with the Submit call
 	ctx      context.Context
 	q        *query.Query
 	mapping  []int
@@ -411,8 +416,10 @@ func (b *Batcher) runBatch(batch []*member) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				// A plan error surfaces per-member below; warming is
-				// best effort.
-				_ = b.e.PlanPinned(context.Background(), lead.q, lead.mapping, pin)
+				// best effort. The warm must not be torn down by the
+				// lead's own cancellation mid-solve (followers still
+				// want the plan), but it keeps the lead's values.
+				_ = b.e.PlanPinned(context.WithoutCancel(lead.ctx), lead.q, lead.mapping, pin)
 			}(lead)
 		}
 		wg.Wait()

@@ -279,6 +279,55 @@ func TestInvalidMemberFailsAlone(t *testing.T) {
 	}
 }
 
+// A canceled sibling must not poison the batch's shared plan warm:
+// the leader's warm context is detached from its cancellation
+// (context.WithoutCancel), so followers still get their results even
+// when the member whose context seeded the warm is canceled mid-batch.
+func TestCanceledLeaderDoesNotPoisonBatch(t *testing.T) {
+	e := testEngine(t, 500, core.Options{})
+	if err := e.PrepareStats(); err != nil {
+		t.Fatal(err)
+	}
+	b := New(e, Options{Window: 80 * time.Millisecond, MaxBatch: 8})
+	defer b.Close()
+	q := testQuery(t, "Qo,m")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var canceledErr error
+	okErrs := make([]error, 4)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// This member enters the queue first and is the likeliest
+		// leader; its context dies while the batch is in flight.
+		_, canceledErr = b.Submit(ctx, q, nil)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	for i := range okErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, okErrs[i] = b.Submit(context.Background(), q, nil)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	// The canceled member may have finished or aborted — both are
+	// legal; what the fix guarantees is that its siblings never see
+	// its cancellation.
+	if canceledErr != nil && !errors.Is(canceledErr, context.Canceled) {
+		t.Fatalf("canceled member: unexpected error %v", canceledErr)
+	}
+	for i, err := range okErrs {
+		if err != nil {
+			t.Fatalf("sibling %d poisoned by leader cancellation: %v", i, err)
+		}
+	}
+}
+
 func ExampleBatcher() {
 	cols := []*interval.Collection{
 		datagen.Uniform("C1", 500, 1), datagen.Uniform("C2", 500, 2), datagen.Uniform("C3", 500, 3),

@@ -24,7 +24,7 @@ import (
 // floors. A second table shows the other payoff: under continuous
 // ingest a busy batcher keeps the number of live epoch views bounded
 // by its in-flight batch cap instead of by the query count.
-func Admission(cfg Config) ([]*Table, error) {
+func Admission(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.size(20000)
 	k := cfg.k(100)
@@ -49,7 +49,7 @@ func Admission(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		for _, q := range shapes {
-			if _, err := engine.Execute(context.Background(), q); err != nil {
+			if _, err := engine.Execute(ctx, q); err != nil {
 				return nil, err
 			}
 		}
@@ -106,9 +106,9 @@ func Admission(cfg Config) ([]*Table, error) {
 						var report *core.Report
 						var err error
 						if batcher != nil {
-							report, err = batcher.Submit(context.Background(), q, nil)
+							report, err = batcher.Submit(ctx, q, nil)
 						} else {
-							report, err = engine.Execute(context.Background(), q)
+							report, err = engine.Execute(ctx, q)
 						}
 						if err != nil {
 							errs[w] = err
@@ -205,9 +205,9 @@ func Admission(cfg Config) ([]*Table, error) {
 					q := shapes[(w+r)%len(shapes)]
 					var err error
 					if batcher != nil {
-						_, err = batcher.Submit(context.Background(), q, nil)
+						_, err = batcher.Submit(ctx, q, nil)
 					} else {
-						_, err = engine.Execute(context.Background(), q)
+						_, err = engine.Execute(ctx, q)
 					}
 					if err != nil {
 						errs[w] = err

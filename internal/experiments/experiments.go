@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -174,10 +175,10 @@ func queriesByName(env query.Env, names ...string) []*query.Query {
 }
 
 // All runs every experiment and returns the tables in paper order.
-func All(cfg Config) ([]*Table, error) {
+func All(ctx context.Context, cfg Config) ([]*Table, error) {
 	type runner struct {
 		name string
-		fn   func(Config) ([]*Table, error)
+		fn   func(context.Context, Config) ([]*Table, error)
 	}
 	runners := []runner{
 		{"stats-collection", StatsCollection},
@@ -200,8 +201,11 @@ func All(cfg Config) ([]*Table, error) {
 	}
 	var all []*Table
 	for _, r := range runners {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.name, err)
+		}
 		cfg.logf("running %s ...", r.name)
-		ts, err := r.fn(cfg)
+		ts, err := r.fn(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", r.name, err)
 		}
@@ -212,8 +216,8 @@ func All(cfg Config) ([]*Table, error) {
 
 // ByID runs the experiment producing the given table ID prefix
 // ("fig8" matches fig8a/b/c).
-func ByID(id string, cfg Config) ([]*Table, error) {
-	drivers := map[string]func(Config) ([]*Table, error){
+func ByID(ctx context.Context, id string, cfg Config) ([]*Table, error) {
+	drivers := map[string]func(context.Context, Config) ([]*Table, error){
 		"stats":     StatsCollection,
 		"fig7":      Fig7ScoreDistribution,
 		"fig8":      Fig8Workload,
@@ -240,5 +244,5 @@ func ByID(id string, cfg Config) ([]*Table, error) {
 		}
 		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %s or all)", id, strings.Join(keys, ", "))
 	}
-	return fn(cfg)
+	return fn(ctx, cfg)
 }

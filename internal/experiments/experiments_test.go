@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -16,7 +18,7 @@ func TestAllDriversAtTinyScale(t *testing.T) {
 	}
 	drivers := []struct {
 		name string
-		fn   func(Config) ([]*Table, error)
+		fn   func(context.Context, Config) ([]*Table, error)
 		want int // number of tables
 	}{
 		{"stats", StatsCollection, 1},
@@ -37,7 +39,7 @@ func TestAllDriversAtTinyScale(t *testing.T) {
 		d := d
 		t.Run(d.name, func(t *testing.T) {
 			start := time.Now()
-			tables, err := d.fn(tiny())
+			tables, err := d.fn(context.Background(), tiny())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -59,18 +61,35 @@ func TestAllDriversAtTinyScale(t *testing.T) {
 	}
 }
 
+// TestCanceledContextAborts locks in the context threading: a caller's
+// cancellation must reach the engine executions inside a driver
+// (before the fix, drivers fabricated context.Background() and ran to
+// completion regardless).
+func TestCanceledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Serving(ctx, tiny()); err == nil {
+		t.Fatal("Serving ran to completion on a canceled context")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in error chain, got %v", err)
+	}
+	if _, err := All(ctx, tiny()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("All: want context.Canceled, got %v", err)
+	}
+}
+
 func TestByID(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped in -short mode")
 	}
-	tables, err := ByID("fig12", tiny())
+	tables, err := ByID(context.Background(), "fig12", tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tables) != 3 {
 		t.Fatalf("fig12 tables = %d", len(tables))
 	}
-	if _, err := ByID("nope", tiny()); err == nil {
+	if _, err := ByID(context.Background(), "nope", tiny()); err == nil {
 		t.Error("unknown id accepted")
 	}
 }

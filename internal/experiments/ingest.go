@@ -23,7 +23,7 @@ import (
 // compaction, query latency while appends land concurrently, and the
 // bottom line — the post-ingest engine answers exactly like a cold
 // engine rebuilt from the full data.
-func Ingest(cfg Config) ([]*Table, error) {
+func Ingest(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.size(20000)
 	k := cfg.k(100)
@@ -44,10 +44,10 @@ func Ingest(cfg Config) ([]*Table, error) {
 	q := queriesByName(env, "Qo,m")[0]
 
 	// Warm the engine: offline phase plus the query's memoized trees.
-	if _, err := engine.Execute(context.Background(), q); err != nil {
+	if _, err := engine.Execute(ctx, q); err != nil {
 		return nil, err
 	}
-	warm, err := engine.Execute(context.Background(), q)
+	warm, err := engine.Execute(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +86,7 @@ func Ingest(cfg Config) ([]*Table, error) {
 		if epoch != int64(e) {
 			return nil, fmt.Errorf("ingest: append %d published epoch %d", e, epoch)
 		}
-		report, err := engine.Execute(context.Background(), q)
+		report, err := engine.Execute(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -107,11 +107,11 @@ func Ingest(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cr, err := cold.Execute(context.Background(), q)
+	cr, err := cold.Execute(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	wr, err := engine.Execute(context.Background(), q)
+	wr, err := engine.Execute(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +132,7 @@ func Ingest(cfg Config) ([]*Table, error) {
 		Columns: []string{"mode", "queries", "avg-query(ms)", "appends", "avg-append(ms)", "final-epoch"},
 		Note:    "queries pin their epoch at admission; concurrent appends never stall or tear them",
 	}
-	quiesced, err := timedQueries(engine, q, 5)
+	quiesced, err := timedQueries(ctx, engine, q, 5)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +163,7 @@ func Ingest(cfg Config) ([]*Table, error) {
 		queries     int
 	)
 	for {
-		r, err := engine.Execute(context.Background(), q)
+		r, err := engine.Execute(ctx, q)
 		if err != nil {
 			wg.Wait()
 			return nil, err
@@ -192,10 +192,10 @@ func Ingest(cfg Config) ([]*Table, error) {
 
 // timedQueries executes q rounds times and returns the summed wall
 // time.
-func timedQueries(e *core.Engine, q *query.Query, rounds int) (time.Duration, error) {
+func timedQueries(ctx context.Context, e *core.Engine, q *query.Query, rounds int) (time.Duration, error) {
 	var total time.Duration
 	for i := 0; i < rounds; i++ {
-		r, err := e.Execute(context.Background(), q)
+		r, err := e.Execute(ctx, q)
 		if err != nil {
 			return 0, err
 		}

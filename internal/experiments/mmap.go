@@ -33,7 +33,7 @@ import (
 // engine is also checked for top-k equality against the engine that
 // computed the statistics — a mode that answered faster but differently
 // would be worthless.
-func Mmap(cfg Config) ([]*Table, error) {
+func Mmap(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	k := cfg.k(100)
 	const g = 20
@@ -99,13 +99,13 @@ func Mmap(cfg Config) ([]*Table, error) {
 		}
 
 		q := queriesByName(env, "Qo,m")[0]
-		want, err := cold.Execute(context.Background(), q)
+		want, err := cold.Execute(ctx, q)
 		if err != nil {
 			return nil, err
 		}
 		q1 := make([]time.Duration, 2)
 		for i, e := range []*core.Engine{heapEng, mmapEng} {
-			got, err := e.Execute(context.Background(), q)
+			got, err := e.Execute(ctx, q)
 			if err != nil {
 				return nil, err
 			}
@@ -152,7 +152,7 @@ func Mmap(cfg Config) ([]*Table, error) {
 		name string
 		e    *core.Engine
 	}{{"heap", heapMid}, {"mmap", mmapMid}} {
-		if _, err := m.e.Execute(context.Background(), q); err != nil {
+		if _, err := m.e.Execute(ctx, q); err != nil {
 			return nil, err
 		}
 		view := m.e.Store().View()
@@ -177,7 +177,7 @@ func Mmap(cfg Config) ([]*Table, error) {
 		}
 		var execErr error
 		queryAllocs := testing.AllocsPerRun(10, func() {
-			if _, err := m.e.Execute(context.Background(), q); err != nil {
+			if _, err := m.e.Execute(ctx, q); err != nil {
 				execErr = err
 			}
 		})
@@ -204,7 +204,7 @@ func Mmap(cfg Config) ([]*Table, error) {
 		e    *core.Engine
 	}{{"heap", heapMid}, {"mmap", mmapMid}} {
 		for _, q := range shapes { // warm every shape's plan and indexes
-			if _, err := m.e.Execute(context.Background(), q); err != nil {
+			if _, err := m.e.Execute(ctx, q); err != nil {
 				return nil, err
 			}
 		}
@@ -219,7 +219,7 @@ func Mmap(cfg Config) ([]*Table, error) {
 				defer wg.Done()
 				for r := 0; r < rounds; r++ {
 					qStart := time.Now()
-					if _, err := batcher.Submit(context.Background(), shapes[(w+r)%len(shapes)], nil); err != nil {
+					if _, err := batcher.Submit(ctx, shapes[(w+r)%len(shapes)], nil); err != nil {
 						errs[w] = err
 						return
 					}

@@ -26,7 +26,7 @@ import (
 // cheap promotion of untouched plans and the incremental re-bound after
 // boundary-widening out-of-range appends), and the outcome mix under
 // repeated queries with concurrent ingest.
-func PlanCache(cfg Config) ([]*Table, error) {
+func PlanCache(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.size(20000)
 	k := cfg.k(100)
@@ -57,7 +57,7 @@ func PlanCache(cfg Config) ([]*Table, error) {
 	for _, q := range queries {
 		var missPlan time.Duration
 		for run := 0; run < 3; run++ {
-			report, err := engine.Execute(context.Background(), q)
+			report, err := engine.Execute(ctx, q)
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +99,7 @@ func PlanCache(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		for _, q := range queries {
-			report, err := engine.Execute(context.Background(), q)
+			report, err := engine.Execute(ctx, q)
 			if err != nil {
 				return nil, err
 			}
@@ -144,7 +144,7 @@ func PlanCache(cfg Config) ([]*Table, error) {
 		go func(q *query.Query) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				report, err := engine.Execute(context.Background(), q)
+				report, err := engine.Execute(ctx, q)
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, err)

@@ -24,7 +24,7 @@ import (
 // compares cold build vs. save vs. restore; the second proves the
 // restored engine returns the same top-k as the engine that computed
 // its statistics.
-func Restart(cfg Config) ([]*Table, error) {
+func Restart(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.size(20000)
 	k := cfg.k(100)
@@ -94,11 +94,11 @@ func Restart(cfg Config) ([]*Table, error) {
 		Note:    "restored runs pay only on-demand R-tree builds; score multisets must match exactly",
 	}
 	for _, q := range queriesByName(env, "Qb,b", "Qo,m", "Qs,m") {
-		cr, err := cold.Execute(context.Background(), q)
+		cr, err := cold.Execute(ctx, q)
 		if err != nil {
 			return nil, err
 		}
-		wr, err := warm.Execute(context.Background(), q)
+		wr, err := warm.Execute(ctx, q)
 		if err != nil {
 			return nil, err
 		}

@@ -22,7 +22,7 @@ import (
 // R-tree builds; warm runs route the same bucket references but reuse
 // every memoized tree, and concurrent runs share both the store and the
 // cross-reducer threshold.
-func Serving(cfg Config) ([]*Table, error) {
+func Serving(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.size(20000)
 	k := cfg.k(100)
@@ -51,7 +51,7 @@ func Serving(cfg Config) ([]*Table, error) {
 	}
 	for _, q := range queries {
 		for run := 0; run < 3; run++ {
-			report, err := engine.Execute(context.Background(), q)
+			report, err := engine.Execute(ctx, q)
 			if err != nil {
 				return nil, err
 			}
@@ -88,7 +88,7 @@ func Serving(cfg Config) ([]*Table, error) {
 		go func(i int, q *query.Query) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				report, err := engine.Execute(context.Background(), q)
+				report, err := engine.Execute(ctx, q)
 				if err != nil {
 					errs[i] = err
 					return

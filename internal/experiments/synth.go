@@ -23,7 +23,7 @@ import (
 // collection time depends on |Ci| only (28s at 2e5 to 36s at 5e6 on the
 // paper's cluster; our absolute times differ, the flat-growth shape is
 // the point).
-func StatsCollection(cfg Config) ([]*Table, error) {
+func StatsCollection(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:      "sec4-stats",
@@ -53,7 +53,7 @@ func StatsCollection(cfg Config) ([]*Table, error) {
 // s-meets and s-starts with P1. The paper's ordering — before has the
 // most high-scoring results, then overlaps, then meets, then starts —
 // must hold.
-func Fig7ScoreDistribution(cfg Config) ([]*Table, error) {
+func Fig7ScoreDistribution(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.size(1500)
 	c1 := datagen.Uniform("C1", n, 1)
@@ -108,7 +108,7 @@ func countAtLeastDesc(desc []float64, threshold float64) int {
 // Fig8Workload reproduces Figure 8: LPT vs DTB on Qb,b, Qo,o, Qf,f,
 // Qs,s, Qs,f,m across growing |Ci| — (a) join running time, (b) max
 // reducer time, (c) min score of the k-th result returned by reducers.
-func Fig8Workload(cfg Config) ([]*Table, error) {
+func Fig8Workload(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	const g, kFactor = 20, 200
 	k := int(float64(kFactor) * cfg.Scale)
@@ -137,7 +137,7 @@ func Fig8Workload(cfg Config) ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				report, err := e.Execute(context.Background(), q)
+				report, err := e.Execute(ctx, q)
 				if err != nil {
 					return nil, err
 				}
@@ -174,7 +174,7 @@ func minLocalScore(locals []join.LocalStats) float64 {
 // three TopBuckets strategies on the star queries Qb*, Qo*, Qm* for
 // n = 3, 4, 5. brute-force beyond n = 3 exceeds the combination budget,
 // mirroring the paper's > 1h entries.
-func Fig9Strategies(cfg Config) ([]*Table, error) {
+func Fig9Strategies(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	const g = 8
 	k := cfg.k(100)
@@ -211,7 +211,7 @@ func Fig9Strategies(cfg Config) ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				report, err := e.Execute(context.Background(), q)
+				report, err := e.Execute(ctx, q)
 				if err != nil {
 					t.Rows = append(t.Rows, []string{star.name, fmt.Sprintf("%d", n), strat.String(),
 						"exceeded", "-", "-", "-", "-"})
@@ -232,7 +232,7 @@ func Fig9Strategies(cfg Config) ([]*Table, error) {
 // Fig10Granules reproduces Figure 10: the effect of the granule count g
 // on (a) total running time, (b) join imbalance, and (c) Qo,m's phase
 // breakdown with the fraction of results pruned.
-func Fig10Granules(cfg Config) ([]*Table, error) {
+func Fig10Granules(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	k := cfg.k(100)
 	n := cfg.size(8000)
@@ -256,7 +256,7 @@ func Fig10Granules(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := e.Execute(context.Background(), q)
+			report, err := e.Execute(ctx, q)
 			if err != nil {
 				return nil, err
 			}
@@ -289,7 +289,7 @@ func namesOf(qs []*query.Query) []string {
 // Fig11Scalability reproduces Figure 11: TKIJ (Boolean PB and scored P1
 // parameters) against All-Matrix on Qb,b and RCCIS on Qo,o and Qs,m as
 // |Ci| grows.
-func Fig11Scalability(cfg Config) ([]*Table, error) {
+func Fig11Scalability(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	const g = 20
 	k := cfg.k(100)
@@ -314,11 +314,11 @@ func Fig11Scalability(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		pbT, err := runTKIJ(cols, query.Qbb(query.Env{Params: scoring.PB}), g, k, cfg)
+		pbT, err := runTKIJ(ctx, cols, query.Qbb(query.Env{Params: scoring.PB}), g, k, cfg)
 		if err != nil {
 			return nil, err
 		}
-		p1T, err := runTKIJ(cols, query.Qbb(query.Env{Params: scoring.P1}), g, k, cfg)
+		p1T, err := runTKIJ(ctx, cols, query.Qbb(query.Env{Params: scoring.P1}), g, k, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -329,11 +329,11 @@ func Fig11Scalability(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		pbT, err = runTKIJ(cols, query.Qoo(query.Env{Params: scoring.PB}), g, k, cfg)
+		pbT, err = runTKIJ(ctx, cols, query.Qoo(query.Env{Params: scoring.PB}), g, k, cfg)
 		if err != nil {
 			return nil, err
 		}
-		p1T, err = runTKIJ(cols, query.Qoo(query.Env{Params: scoring.P1}), g, k, cfg)
+		p1T, err = runTKIJ(ctx, cols, query.Qoo(query.Env{Params: scoring.P1}), g, k, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -344,11 +344,11 @@ func Fig11Scalability(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		pbT, err = runTKIJ(cols, query.Qsm(query.Env{Params: scoring.PB}), g, k, cfg)
+		pbT, err = runTKIJ(ctx, cols, query.Qsm(query.Env{Params: scoring.PB}), g, k, cfg)
 		if err != nil {
 			return nil, err
 		}
-		p1T, err = runTKIJ(cols, query.Qsm(query.Env{Params: scoring.P1}), g, k, cfg)
+		p1T, err = runTKIJ(ctx, cols, query.Qsm(query.Env{Params: scoring.P1}), g, k, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -358,12 +358,12 @@ func Fig11Scalability(cfg Config) ([]*Table, error) {
 	return []*Table{ta, tb, tc}, nil
 }
 
-func runTKIJ(cols []*interval.Collection, q *query.Query, g, k int, cfg Config) (time.Duration, error) {
+func runTKIJ(ctx context.Context, cols []*interval.Collection, q *query.Query, g, k int, cfg Config) (time.Duration, error) {
 	e, err := engineFor(cols, g, k, topbuckets.Loose, distribute.AlgDTB, cfg, join.LocalOptions{})
 	if err != nil {
 		return 0, err
 	}
-	report, err := e.Execute(context.Background(), q)
+	report, err := e.Execute(ctx, q)
 	if err != nil {
 		return 0, err
 	}
@@ -373,7 +373,7 @@ func runTKIJ(cols []*interval.Collection, q *query.Query, g, k int, cfg Config) 
 // EffectOfKSynthetic reproduces §4.2.6: running time vs k on synthetic
 // data — nearly constant because each bucket combination holds far more
 // than k candidates, so Ω_k,S barely changes.
-func EffectOfKSynthetic(cfg Config) ([]*Table, error) {
+func EffectOfKSynthetic(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	const g = 20
 	n := cfg.size(8000)
@@ -396,7 +396,7 @@ func EffectOfKSynthetic(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := e.Execute(context.Background(), q)
+			report, err := e.Execute(ctx, q)
 			if err != nil {
 				return nil, err
 			}
@@ -411,7 +411,7 @@ func EffectOfKSynthetic(cfg Config) ([]*Table, error) {
 // Ablations benchmarks the design choices DESIGN.md calls out beyond the
 // paper's own comparisons: R-tree probes vs full scans, threshold
 // pruning on/off, and round-robin distribution.
-func Ablations(cfg Config) ([]*Table, error) {
+func Ablations(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	const g = 20
 	k := cfg.k(100)
@@ -443,7 +443,7 @@ func Ablations(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := e.Execute(context.Background(), q)
+			report, err := e.Execute(ctx, q)
 			if err != nil {
 				return nil, err
 			}

@@ -22,7 +22,7 @@ func trafficCollection(n int, seed int64) *interval.Collection {
 // Fig12DataDistribution reproduces Figure 12: the distribution of start
 // points and lengths of the (simulated) network traffic data, as
 // percentage histograms, plus the §4.3.1 summary statistics.
-func Fig12DataDistribution(cfg Config) ([]*Table, error) {
+func Fig12DataDistribution(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.size(50000)
 	c := trafficCollection(n, 91)
@@ -77,7 +77,7 @@ func trafficQueries(avg float64) []*query.Query {
 // 5%-35% samples of its log; we scale the simulated collection by the
 // same ratios). Each collection is copied three times for 3-way
 // self-joins, as in §4.3.1.
-func Fig13TrafficScalability(cfg Config) ([]*Table, error) {
+func Fig13TrafficScalability(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	const g = 15
 	k := cfg.k(100)
@@ -100,7 +100,7 @@ func Fig13TrafficScalability(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := e.ExecuteMapped(context.Background(), q, selfMapping(q.NumVertices))
+			report, err := e.ExecuteMapped(ctx, q, selfMapping(q.NumVertices))
 			if err != nil {
 				return nil, err
 			}
@@ -118,7 +118,7 @@ func Fig13TrafficScalability(cfg Config) ([]*Table, error) {
 // Fig14TrafficEffectOfK reproduces Figure 14: running time vs k on the
 // traffic data. The paper observes near-constant time up to k = 5000 and
 // slow growth beyond, with Qo,o's selected-combination count jumping.
-func Fig14TrafficEffectOfK(cfg Config) ([]*Table, error) {
+func Fig14TrafficEffectOfK(ctx context.Context, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	const g = 15
 	n := cfg.size(6000)
@@ -142,7 +142,7 @@ func Fig14TrafficEffectOfK(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := e.ExecuteMapped(context.Background(), q, selfMapping(q.NumVertices))
+			report, err := e.ExecuteMapped(ctx, q, selfMapping(q.NumVertices))
 			if err != nil {
 				return nil, err
 			}

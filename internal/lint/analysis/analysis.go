@@ -1,0 +1,154 @@
+// Package analysis is a self-contained miniature of
+// golang.org/x/tools/go/analysis: the Analyzer/Pass/Diagnostic contract
+// the tkij-vet suite is written against. The repo vendors no external
+// modules, so the x/tools framework (and its multichecker, nilness,
+// atomicalign, copylocks passes) is not importable here; this package
+// re-implements the part the custom invariant checkers need on the
+// standard library alone, and CI runs `go vet` alongside tkij-vet for
+// the toolchain's own passes. The API mirrors x/tools deliberately —
+// if a vendored x/tools ever lands, the analyzers port by changing an
+// import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker: a name diagnostics are filed
+// under (and suppression comments reference), one line of
+// documentation, and the per-package Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//tkij:ignore <name> -- reason" suppression comments.
+	Name string
+	// Doc is the one-line description shown by `tkij-vet -list`.
+	Doc string
+	// Run analyzes one package through the Pass and reports findings
+	// via Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags   []Diagnostic
+	ignores map[string][]ignore // file name -> parsed suppressions
+	ignored int
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// ignore is one parsed "//tkij:ignore <analyzer> -- <justification>"
+// comment: it suppresses that analyzer's diagnostics on its own line
+// and on the line directly below (so the comment can sit above the
+// flagged statement, the usual style for multi-clause statements).
+type ignore struct {
+	line      int
+	analyzers []string
+}
+
+// IgnorePrefix is the suppression comment marker. A suppression must
+// name the analyzer(s) it silences and carry a non-empty justification
+// after " -- "; a bare marker suppresses nothing, so every suppression
+// in the tree documents why the invariant is safe to waive there.
+const IgnorePrefix = "//tkij:ignore"
+
+// parseIgnores scans a file's comments for suppression markers.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignore {
+	var out []ignore
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, IgnorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, IgnorePrefix)
+			names, justification, ok := strings.Cut(rest, "--")
+			if !ok || strings.TrimSpace(justification) == "" {
+				// No justification, no suppression: the marker is inert
+				// by design rather than an error, so a half-written
+				// comment surfaces as the original diagnostic.
+				continue
+			}
+			var list []string
+			for _, n := range strings.Fields(names) {
+				list = append(list, strings.TrimSuffix(n, ","))
+			}
+			if len(list) == 0 {
+				continue
+			}
+			out = append(out, ignore{line: fset.Position(c.Pos()).Line, analyzers: list})
+		}
+	}
+	return out
+}
+
+// NewPass assembles a pass for one package. Suppression comments are
+// parsed once here and consulted by every Reportf.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info,
+		ignores: make(map[string][]ignore)}
+	for _, f := range files {
+		pos := fset.Position(f.Pos())
+		p.ignores[pos.Filename] = append(p.ignores[pos.Filename], parseIgnores(fset, f)...)
+	}
+	return p
+}
+
+// Reportf files a diagnostic at pos unless a suppression comment for
+// this analyzer covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, ig := range p.ignores[position.Filename] {
+		if ig.line != position.Line && ig.line != position.Line-1 {
+			continue
+		}
+		for _, name := range ig.analyzers {
+			if name == p.Analyzer.Name {
+				p.ignored++
+				return
+			}
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: position, Analyzer: p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the pass's findings in file/line order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Pos, p.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+// Suppressed returns how many diagnostics suppression comments
+// swallowed — surfaced by the driver so a tree full of ignores is
+// visible in CI logs.
+func (p *Pass) Suppressed() int { return p.ignored }

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func passFor(t *testing.T, src string) (*Pass, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{Name: "demo", Doc: "test analyzer"}
+	return NewPass(a, fset, []*ast.File{f}, nil, nil), f
+}
+
+// lineStart returns a Pos on the given 1-based line.
+func lineStart(f *ast.File, p *Pass, line int) token.Pos {
+	tf := p.Fset.File(f.Pos())
+	return tf.LineStart(line)
+}
+
+const src = `package p
+
+//tkij:ignore demo -- justified: the invariant holds by construction here
+var a = 1
+
+//tkij:ignore demo
+var b = 2
+
+//tkij:ignore other -- justification for a different analyzer
+var c = 3
+
+//tkij:ignore demo, other -- one comment silencing two analyzers
+var d = 4
+`
+
+func TestSuppressionRequiresJustification(t *testing.T) {
+	p, f := passFor(t, src)
+
+	p.Reportf(lineStart(f, p, 4), "on var a")  // justified ignore above: suppressed
+	p.Reportf(lineStart(f, p, 7), "on var b")  // bare marker: NOT suppressed
+	p.Reportf(lineStart(f, p, 10), "on var c") // other analyzer's ignore: NOT suppressed
+	p.Reportf(lineStart(f, p, 13), "on var d") // multi-name ignore: suppressed
+
+	diags := p.Diagnostics()
+	if len(diags) != 2 {
+		t.Fatalf("want 2 surviving diagnostics, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "var b") || !strings.Contains(diags[1].Message, "var c") {
+		t.Errorf("wrong diagnostics survived: %v", diags)
+	}
+	if p.Suppressed() != 2 {
+		t.Errorf("want 2 suppressed, got %d", p.Suppressed())
+	}
+}
+
+func TestSuppressionCoversOwnLineOnly(t *testing.T) {
+	p, f := passFor(t, src)
+	// Line 5 is two lines below the justified ignore on line 3; the
+	// suppression window (own line + next) must not reach it.
+	p.Reportf(lineStart(f, p, 5), "too far below")
+	if len(p.Diagnostics()) != 1 {
+		t.Errorf("suppression window leaked beyond one line")
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	p, f := passFor(t, src)
+	p.Reportf(lineStart(f, p, 10), "later")
+	p.Reportf(lineStart(f, p, 7), "earlier")
+	diags := p.Diagnostics()
+	if len(diags) != 2 || diags[0].Pos.Line != 7 || diags[1].Pos.Line != 10 {
+		t.Errorf("diagnostics not sorted by line: %v", diags)
+	}
+}

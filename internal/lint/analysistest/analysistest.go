@@ -1,0 +1,147 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments — the
+// x/tools analysistest contract, rebuilt on the in-repo loader. The
+// two failure directions are deliberate and equally fatal: a `want`
+// with no matching diagnostic means a check was weakened (the analyzer
+// stopped seeing a planted bug), and a diagnostic with no matching
+// `want` means a false positive or a broken suppression. Fixture trees
+// live under testdata/src/<pkg> where go build never looks, and may
+// import the real tkij packages — they are type-checked, never run.
+package analysistest
+
+import (
+	"go/scanner"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tkij/internal/lint/analysis"
+	"tkij/internal/lint/loader"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each named fixture package from testdata/src, runs the
+// analyzer, and reports mismatches between diagnostics and `// want`
+// comments as test failures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	// Fixtures import each other (and are imported by the harness)
+	// under the "test" prefix.
+	l.AddOverlay("test", src)
+
+	for _, pkgName := range pkgs {
+		dir := filepath.Join(src, filepath.FromSlash(pkgName))
+		pkg, err := l.Load(dir)
+		if err != nil {
+			t.Errorf("analysistest: loading fixture %s: %v", pkgName, err)
+			continue
+		}
+		pass := analysis.NewPass(a, l.Fset(), pkg.Files, pkg.Types, pkg.Info)
+		if err := a.Run(pass); err != nil {
+			t.Errorf("analysistest: %s on %s: %v", a.Name, pkgName, err)
+			continue
+		}
+		wants := collectWants(t, dir)
+		for _, d := range pass.Diagnostics() {
+			if !matchWant(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s", pkgName, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q — the check was weakened",
+					pkgName, w.file, w.line, w.pattern)
+			}
+		}
+	}
+}
+
+// matchWant marks and returns whether some unmatched want covers d.
+func matchWant(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || w.file != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE extracts the pattern from a want comment — one double-quoted
+// or backquoted regexp per comment (a subset of the x/tools format,
+// which also allows several patterns on one line).
+var wantRE = regexp.MustCompile("// want (?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// collectWants scans every .go file in dir for want comments, using
+// the scanner so wants inside other comments or strings are not
+// misread.
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var wants []*want
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		fset := token.NewFileSet()
+		file := fset.AddFile(path, -1, len(data))
+		var sc scanner.Scanner
+		sc.Init(file, data, nil, scanner.ScanComments)
+		for {
+			pos, tok, lit := sc.Scan()
+			if tok == token.EOF {
+				break
+			}
+			if tok != token.COMMENT {
+				continue
+			}
+			m := wantRE.FindStringSubmatch(lit)
+			if m == nil {
+				continue
+			}
+			raw := m[1]
+			if raw == "" {
+				raw = m[2]
+			}
+			pat, err := regexp.Compile(raw)
+			if err != nil {
+				t.Fatalf("analysistest: %s: bad want pattern %q: %v", path, m[1], err)
+			}
+			wants = append(wants, &want{
+				file:    e.Name(),
+				line:    fset.Position(pos).Line,
+				pattern: pat,
+			})
+		}
+	}
+	return wants
+}

@@ -1,0 +1,393 @@
+// Package cfg builds a statement-level control-flow graph for one
+// function body — the skeleton the pinrelease analyzer walks to prove
+// a Release is reachable on every path out of an acquisition. It is a
+// deliberately small sibling of golang.org/x/tools/go/cfg (not
+// importable here; the repo vendors no external modules): blocks hold
+// statements in execution order, edges carry the branch condition they
+// are taken under, and the handful of constructs the module's code
+// actually uses (if/for/range/switch/select/defer/labeled break and
+// continue/goto) are modeled precisely. A construct the builder cannot
+// model soundly makes New return ok=false, and callers skip the
+// function rather than guess.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// CFG is the control-flow graph of one function body. Block 0 is the
+// entry block.
+type CFG struct {
+	Blocks []*Block
+}
+
+// Block is a straight-line run of statements.
+type Block struct {
+	Index int
+	// Nodes are the statements (and for-range headers) executed in
+	// order when control reaches the block.
+	Nodes []ast.Node
+	// Succs are the outgoing edges. A block with no successors
+	// terminates the function: an explicit return, a panic, or falling
+	// off the end of the body.
+	Succs []Edge
+	// Return marks a block terminated by an explicit return statement.
+	Return bool
+	// Panic marks a block terminated by a call that cannot return
+	// (panic, os.Exit, runtime.Goexit, log.Fatal*).
+	Panic bool
+}
+
+// Edge is one control transfer. When Cond is non-nil the edge is taken
+// exactly when Cond evaluates to When — path-sensitive analyses use
+// this to recognize `if err != nil` error arms.
+type Edge struct {
+	To   int
+	Cond ast.Expr
+	When bool
+}
+
+type loopCtx struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil inside switch/select (continue targets the loop)
+	isLoop     bool
+}
+
+type builder struct {
+	cfg    *CFG
+	cur    *Block // nil while the current point is unreachable
+	stack  []loopCtx
+	labels map[string]*Block // goto targets already materialized
+	gotos  map[string][]*Block
+	ok     bool
+	// pendingLabel carries a loop label from LabeledStmt to the loop
+	// statement it names; fallthroughTo is the next case clause's entry
+	// while building a switch body.
+	pendingLabel  string
+	fallthroughTo *Block
+}
+
+// New builds the CFG of body. ok is false when the body contains a
+// construct the builder does not model (an unresolved goto target);
+// the returned graph must then not be trusted.
+func New(body *ast.BlockStmt) (g *CFG, ok bool) {
+	b := &builder{cfg: &CFG{}, labels: make(map[string]*Block), gotos: make(map[string][]*Block), ok: true}
+	b.cur = b.newBlock()
+	b.stmtList(body.List)
+	for label, sources := range b.gotos {
+		target := b.labels[label]
+		if target == nil {
+			b.ok = false
+			break
+		}
+		for _, src := range sources {
+			src.Succs = append(src.Succs, Edge{To: target.Index})
+		}
+	}
+	return b.cfg, b.ok
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump adds an unconditional edge and leaves the current point
+// unreachable when the destination replaces fallthrough control.
+func (b *builder) edge(from, to *Block, cond ast.Expr, when bool) {
+	if from != nil {
+		from.Succs = append(from.Succs, Edge{To: to.Index, Cond: cond, When: when})
+	}
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		// Unreachable statement (code after return): park it in a fresh
+		// detached block so node positions still resolve.
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// terminalCall reports whether call can never return.
+func terminalCall(call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			switch pkg.Name + "." + fn.Sel.Name {
+			case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		// Only the condition is evaluated in this block; adding the whole
+		// IfStmt would make the header's source span swallow both
+		// branches and break position-containment queries.
+		b.add(s.Cond)
+		condBlock := b.cur
+		after := b.newBlock()
+
+		thenEntry := b.newBlock()
+		b.edge(condBlock, thenEntry, s.Cond, true)
+		b.cur = thenEntry
+		b.stmt(s.Body)
+		b.edge(b.cur, after, nil, false)
+
+		if s.Else != nil {
+			elseEntry := b.newBlock()
+			b.edge(condBlock, elseEntry, s.Cond, false)
+			b.cur = elseEntry
+			b.stmt(s.Else)
+			b.edge(b.cur, after, nil, false)
+		} else {
+			b.edge(condBlock, after, s.Cond, false)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		header := b.newBlock()
+		b.edge(b.cur, header, nil, false)
+		if s.Cond != nil {
+			header.Nodes = append(header.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		post := header
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		if s.Cond != nil {
+			b.edge(header, body, s.Cond, true)
+			b.edge(header, after, s.Cond, false)
+		} else {
+			b.edge(header, body, nil, false)
+		}
+		b.push(loopCtx{label: b.pendingLabel, breakTo: after, continueTo: post, isLoop: true})
+		b.pendingLabel = ""
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, post, nil, false)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, header, nil, false)
+		}
+		b.pop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		// Like if: the header evaluates the ranged expression only.
+		header.Nodes = append(header.Nodes, s.X)
+		b.edge(b.cur, header, nil, false)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(header, body, nil, false)
+		b.edge(header, after, nil, false)
+		b.push(loopCtx{label: b.pendingLabel, breakTo: after, continueTo: header, isLoop: true})
+		b.pendingLabel = ""
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, header, nil, false)
+		b.pop()
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.caseDispatch(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur.Return = true
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			// The label also names a goto target at the construct's head.
+			head := b.newBlock()
+			b.edge(b.cur, head, nil, false)
+			b.cur = head
+			b.labels[s.Label.Name] = head
+			b.stmt(s.Stmt)
+			b.pendingLabel = ""
+		default:
+			head := b.newBlock()
+			b.edge(b.cur, head, nil, false)
+			b.cur = head
+			b.labels[s.Label.Name] = head
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && terminalCall(call) {
+			b.cur.Panic = true
+			b.cur = nil
+		}
+
+	case nil:
+		// nothing
+
+	default:
+		// Assign, Decl, Defer, Go, Send, IncDec, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) push(c loopCtx) { b.stack = append(b.stack, c) }
+func (b *builder) pop()           { b.stack = b.stack[:len(b.stack)-1] }
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.stack) - 1; i >= 0; i-- {
+			c := b.stack[i]
+			if label == "" || c.label == label {
+				b.edge(b.cur, c.breakTo, nil, false)
+				b.cur = nil
+				return
+			}
+		}
+		b.ok = false
+		b.cur = nil
+	case "continue":
+		for i := len(b.stack) - 1; i >= 0; i-- {
+			c := b.stack[i]
+			if c.isLoop && (label == "" || c.label == label) {
+				b.edge(b.cur, c.continueTo, nil, false)
+				b.cur = nil
+				return
+			}
+		}
+		b.ok = false
+		b.cur = nil
+	case "goto":
+		b.gotos[label] = append(b.gotos[label], b.cur)
+		b.cur = nil
+	case "fallthrough":
+		// Handled by caseDispatch via fallthroughTo; reaching here means
+		// a construct we did not model.
+		if b.fallthroughTo != nil {
+			b.edge(b.cur, b.fallthroughTo, nil, false)
+			b.cur = nil
+			return
+		}
+		b.ok = false
+		b.cur = nil
+	}
+}
+
+// caseDispatch models switch, type switch, and select uniformly: the
+// header evaluates init/tag, then control forks to every case body
+// (and to the end when no default case exists).
+func (b *builder) caseDispatch(s ast.Stmt) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	if b.cur == nil {
+		// A tagless switch or a select adds no header node; make sure
+		// the dispatch still has a block to fork from.
+		b.cur = b.newBlock()
+	}
+	header := b.cur
+	after := b.newBlock()
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	b.push(loopCtx{label: label, breakTo: after})
+
+	// Materialize case-entry blocks first so fallthrough can target the
+	// next clause's body.
+	entries := make([]*Block, len(body.List))
+	for i := range body.List {
+		entries[i] = b.newBlock()
+	}
+	for i, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				entries[i].Nodes = append(entries[i].Nodes, cs.Comm)
+			}
+			stmts = cs.Body
+		}
+		b.edge(header, entries[i], nil, false)
+		b.cur = entries[i]
+		if i+1 < len(entries) {
+			b.fallthroughTo = entries[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmtList(stmts)
+		b.fallthroughTo = nil
+		b.edge(b.cur, after, nil, false)
+	}
+	if !hasDefault {
+		// A switch with no default may match nothing; a select with no
+		// default blocks until a comm fires — for reachability either
+		// way the after-block is a header successor only when control
+		// can skip every case.
+		if _, isSelect := s.(*ast.SelectStmt); !isSelect {
+			b.edge(header, after, nil, false)
+		}
+	}
+	b.pop()
+	b.cur = after
+}

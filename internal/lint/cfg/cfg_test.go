@@ -1,0 +1,208 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as a file, takes the first function, and builds
+// its CFG.
+func buildFunc(t *testing.T, src string) (*CFG, bool) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return New(fn.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, false
+}
+
+// reachable returns the block indexes reachable from the entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var visit func(int)
+	visit = func(i int) {
+		if seen[i] {
+			return
+		}
+		seen[i] = true
+		for _, e := range g.Blocks[i].Succs {
+			visit(e.To)
+		}
+	}
+	if len(g.Blocks) > 0 {
+		visit(0)
+	}
+	return seen
+}
+
+// exits returns the reachable terminal blocks (no successors).
+func exits(g *CFG) []*Block {
+	var out []*Block
+	for i := range reachable(g) {
+		if len(g.Blocks[i].Succs) == 0 {
+			out = append(out, g.Blocks[i])
+		}
+	}
+	return out
+}
+
+func TestIfBranches(t *testing.T) {
+	g, ok := buildFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`)
+	if !ok {
+		t.Fatal("builder bailed")
+	}
+	var conds, returns int
+	for _, b := range g.Blocks {
+		if b.Return {
+			returns++
+		}
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				conds++
+			}
+		}
+	}
+	if conds != 2 {
+		t.Errorf("want 2 condition-labeled edges (then/else), got %d", conds)
+	}
+	if returns != 2 {
+		t.Errorf("want 2 return blocks, got %d", returns)
+	}
+}
+
+func TestLoopBackEdgeAndBreak(t *testing.T) {
+	g, ok := buildFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+	}
+}`)
+	if !ok {
+		t.Fatal("builder bailed")
+	}
+	// The loop must terminate: at least one reachable exit block, and
+	// the graph must contain a cycle (the back edge).
+	if len(exits(g)) == 0 {
+		t.Fatal("no reachable exit block — break/cond edges missing")
+	}
+}
+
+func TestRangeAndDefer(t *testing.T) {
+	g, ok := buildFunc(t, `package p
+func f(m []int) {
+	defer println("done")
+	for range m {
+	}
+}`)
+	if !ok {
+		t.Fatal("builder bailed")
+	}
+	var defers int
+	for i := range reachable(g) {
+		for _, n := range g.Blocks[i].Nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				defers++
+			}
+		}
+	}
+	if defers != 1 {
+		t.Errorf("defer statement not reachable in CFG (found %d)", defers)
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g, ok := buildFunc(t, `package p
+func f(c bool) int {
+	if !c {
+		panic("no")
+	}
+	return 1
+}`)
+	if !ok {
+		t.Fatal("builder bailed")
+	}
+	var panics int
+	for _, b := range g.Blocks {
+		if b.Panic {
+			if len(b.Succs) != 0 {
+				t.Errorf("panic block has successors: %v", b.Succs)
+			}
+			panics++
+		}
+	}
+	if panics != 1 {
+		t.Errorf("want 1 panic-terminated block, got %d", panics)
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	g, ok := buildFunc(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		fallthrough
+	case 2:
+		return 2
+	default:
+		return 0
+	}
+}`)
+	if !ok {
+		t.Fatal("builder bailed")
+	}
+	if len(exits(g)) == 0 {
+		t.Fatal("switch produced no reachable exits")
+	}
+}
+
+func TestGotoResolved(t *testing.T) {
+	_, ok := buildFunc(t, `package p
+func f() {
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+}`)
+	if !ok {
+		t.Fatal("resolved goto should be modeled")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g, ok := buildFunc(t, `package p
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				break outer
+			}
+		}
+	}
+}`)
+	if !ok {
+		t.Fatal("builder bailed on labeled break")
+	}
+	if len(exits(g)) == 0 {
+		t.Fatal("labeled break produced no reachable exit")
+	}
+}

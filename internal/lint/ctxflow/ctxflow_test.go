@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"tkij/internal/lint/analysistest"
+	"tkij/internal/lint/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	a := ctxflow.NewAnalyzer([]string{"test/a"})
+	analysistest.Run(t, "testdata", a, "a", "outofscope")
+}

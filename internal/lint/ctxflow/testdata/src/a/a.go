@@ -1,0 +1,43 @@
+// Package a exercises the ctxflow rules inside a scoped package.
+package a
+
+import "context"
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// fabricates builds root contexts where the caller's should flow.
+func fabricates() {
+	ctx := context.Background() // want `context\.Background\(\) fabricates a root context`
+	_ = ctx
+	_ = work(context.TODO()) // want `context\.TODO\(\) fabricates a root context`
+}
+
+// threads is the blessed pattern: the incoming context flows down.
+func threads(ctx context.Context) error {
+	return work(ctx)
+}
+
+// drops takes a context and then ignores it while calling a
+// context-accepting callee.
+func drops(ctx context.Context) error { // want `context parameter "ctx" is never used`
+	return work(nil)
+}
+
+// plain has no context-accepting callees; an unused ctx param alone is
+// an API-shape question, not a cancellation bug.
+func plain(ctx context.Context) int {
+	return 1
+}
+
+// holder stores a context in a struct field.
+type holder struct {
+	ctx context.Context // want `struct field stores a context\.Context`
+}
+
+// carrier documents why its stored context is sanctioned.
+type carrier struct {
+	//tkij:ignore ctxflow -- fixture: context crosses a goroutine boundary under single ownership
+	ctx context.Context
+}

@@ -1,0 +1,13 @@
+// Package outofscope violates every ctxflow rule but is not in the
+// analyzer's scope; no diagnostics may fire here.
+package outofscope
+
+import "context"
+
+type holder struct {
+	ctx context.Context
+}
+
+func fabricates() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,234 @@
+// Package detmerge guards the repo's determinism invariants: batched
+// and sequential execution must produce byte-identical results, and a
+// snapshot must encode identically on every run (its digest is the
+// restart-integrity check). Go map iteration order is randomized per
+// run, so any map range that feeds merged results or encoded output is
+// a latent nondeterminism bug that only shows up as a flaky
+// equivalence test weeks later. Inside the configured scope (join and
+// merge phases, the distribution planner, snapshot encoding) two
+// patterns are flagged:
+//
+//  1. Ranging over a map while appending to a slice that outlives the
+//     loop, unless the function visibly sorts either the collected
+//     slice or the keys afterwards — collect-then-sort is the blessed
+//     idiom, collect-and-use is the bug.
+//  2. Accumulating floating-point sums across a map range:
+//     float addition is not associative, so even a sorted re-run of
+//     the same map can differ in the last ulp depending on visit
+//     order. Collect and sort first, then reduce.
+package detmerge
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tkij/internal/lint/analysis"
+)
+
+// DefaultScope lists the packages whose output must be reproducible:
+// the join/merge pipeline, the distribution planner, and the snapshot
+// encoder.
+func DefaultScope() []string {
+	return []string{
+		"tkij/internal/join",
+		"tkij/internal/distribute",
+		"tkij/internal/snapshot",
+		"tkij/internal/core",
+		"tkij/internal/topbuckets",
+	}
+}
+
+// NewAnalyzer builds the analyzer over a package scope; tests inject
+// fixture paths.
+func NewAnalyzer(scope []string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "detmerge",
+		Doc:  "map ranges feeding merged results or encoders must sort before use",
+		Run:  func(p *analysis.Pass) error { return run(p, scope) },
+	}
+}
+
+// Analyzer checks the repo's default scope.
+var Analyzer = NewAnalyzer(DefaultScope())
+
+func inScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(p *analysis.Pass, scope []string) error {
+	if !inScope(p.Pkg.Path(), scope) {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkBody(p, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody examines every map range directly in body (nested function
+// literals are visited separately).
+func checkBody(p *analysis.Pass, body *ast.BlockStmt) {
+	sorted := sortedObjects(p, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(p, body, rng, sorted)
+		return true
+	})
+}
+
+// sortedObjects collects every variable that body passes to a sort
+// call (sort.Slice, sort.Ints, slices.Sort, slices.SortFunc, ...).
+func sortedObjects(p *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := p.Info.Uses[pkg].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if !strings.Contains(sel.Sel.Name, "Sort") && !isSortShorthand(sel.Sel.Name) {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSortShorthand covers sort's typed helpers that don't carry "Sort"
+// in the name.
+func isSortShorthand(name string) bool {
+	switch name {
+	case "Ints", "Strings", "Float64s":
+		return true
+	}
+	return false
+}
+
+// checkMapRange applies the two rules to one `for ... := range m`.
+func checkMapRange(p *analysis.Pass, body *ast.BlockStmt, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAppendCollect(p, body, rng, n, sorted)
+			if n.Tok == token.ADD_ASSIGN {
+				checkFloatAccum(p, body, rng, n.Lhs[0])
+			}
+		}
+		return true
+	})
+}
+
+// checkAppendCollect flags `dst = append(dst, ...)` inside a map range
+// when dst is declared outside the loop and never sorted in this
+// function.
+func checkAppendCollect(p *analysis.Pass, body *ast.BlockStmt, rng *ast.RangeStmt, assign *ast.AssignStmt, sorted map[types.Object]bool) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return
+	}
+	if _, isBuiltin := p.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return
+	}
+	dst, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := p.Info.Uses[dst]
+	if obj == nil {
+		obj = p.Info.Defs[dst]
+	}
+	if obj == nil || declaredWithin(p, obj, rng) || sorted[obj] {
+		return
+	}
+	// The keys variable itself may be what gets sorted after the loop;
+	// the rule is about the collected slice, and `sorted` already
+	// covers it. Reaching here means no sort call names dst anywhere in
+	// the function.
+	p.Reportf(assign.Pos(), "appending to %q across a map range without sorting it in this function; map order is randomized — collect, then sort", dst.Name)
+}
+
+// checkFloatAccum flags `acc += <float>` inside a map range when acc
+// outlives the loop.
+func checkFloatAccum(p *analysis.Pass, body *ast.BlockStmt, rng *ast.RangeStmt, lhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil || declaredWithin(p, obj, rng) {
+		return
+	}
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return
+	}
+	p.Reportf(lhs.Pos(), "accumulating float %q across a map range; float addition is order-dependent and map order is randomized — collect, sort, then reduce", id.Name)
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement (loop-local state resets every iteration and cannot
+// leak iteration order out).
+func declaredWithin(p *analysis.Pass, obj types.Object, rng *ast.RangeStmt) bool {
+	pos := obj.Pos()
+	return rng.Pos() <= pos && pos <= rng.End()
+}

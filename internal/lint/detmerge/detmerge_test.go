@@ -1,0 +1,13 @@
+package detmerge_test
+
+import (
+	"testing"
+
+	"tkij/internal/lint/analysistest"
+	"tkij/internal/lint/detmerge"
+)
+
+func TestDetMerge(t *testing.T) {
+	a := detmerge.NewAnalyzer([]string{"test/a"})
+	analysistest.Run(t, "testdata", a, "a")
+}

@@ -1,0 +1,92 @@
+// Package a exercises the detmerge rules inside a scoped package.
+package a
+
+import (
+	"sort"
+)
+
+// collectNoSort leaks map iteration order into the returned slice.
+func collectNoSort(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `appending to "out" across a map range without sorting`
+	}
+	return out
+}
+
+// collectThenSort is the blessed idiom.
+func collectThenSort(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectKeysThenSort sorts keys before visiting values.
+func collectKeysThenSort(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// floatAccum sums floats in map order.
+func floatAccum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `accumulating float "total" across a map range`
+	}
+	return total
+}
+
+// intAccum is fine: integer addition is associative.
+func intAccum(m map[int]int) int {
+	var total int
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// loopLocal collects into a slice that dies each iteration; order
+// cannot leak.
+func loopLocal(m map[int][]string) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []string
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(vs []string) []string {
+	var out []string
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}
+
+// suppressed documents why unordered collection is safe here.
+func suppressed(m map[int]string) map[string]bool {
+	var out []string
+	for _, v := range m {
+		//tkij:ignore detmerge -- fixture: result is rebuilt into a set; order is irrelevant
+		out = append(out, v)
+	}
+	set := make(map[string]bool, len(out))
+	for _, v := range out {
+		set[v] = true
+	}
+	return set
+}

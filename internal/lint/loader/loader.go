@@ -1,0 +1,347 @@
+// Package loader type-checks this module's packages using nothing but
+// the standard library. It exists because tkij-vet cannot depend on
+// golang.org/x/tools/go/packages (the repo vendors no external
+// modules): import paths are resolved by hand — "tkij/..." maps onto
+// the module root, everything else onto GOROOT/src — and dependencies
+// are type-checked from source with function bodies ignored, so a
+// whole-module load stays fast. The module has no third-party imports,
+// which is exactly what makes this resolution complete.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked target package.
+type Package struct {
+	// Path is the package's import path (or a synthesized "test/..."
+	// path for fixture packages loaded from a bare directory).
+	Path string
+	// Dir is the directory the files were read from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves imports and caches type-checked packages across
+// Load calls. Not safe for concurrent use.
+type Loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	// overlays maps extra import-path prefixes to directories — the
+	// analysistest harness mounts fixture trees as "test/..." here.
+	overlays map[string]string
+
+	pkgs    map[string]*entry
+	loading map[string]bool
+}
+
+type entry struct {
+	pkg  *Package
+	tpkg *types.Package
+}
+
+// New returns a loader rooted at the module containing dir. The module
+// path is read from go.mod.
+func New(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		fset:       token.NewFileSet(),
+		moduleRoot: root,
+		modulePath: modPath,
+		overlays:   make(map[string]string),
+		pkgs:       make(map[string]*entry),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModuleRoot returns the module root directory.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// AddOverlay mounts dir under import-path prefix (used by the
+// analysistest harness to make fixture packages importable as
+// "prefix/<pkg>").
+func (l *Loader) AddOverlay(prefix, dir string) { l.overlays[prefix] = dir }
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("loader: no module directive in %s", gomod)
+}
+
+// resolve maps an import path to the directory holding its sources.
+func (l *Loader) resolve(path string) (string, error) {
+	for prefix, dir := range l.overlays {
+		if path == prefix {
+			return dir, nil
+		}
+		if rest, ok := strings.CutPrefix(path, prefix+"/"); ok {
+			return filepath.Join(dir, filepath.FromSlash(rest)), nil
+		}
+	}
+	if path == l.modulePath {
+		return l.moduleRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), nil
+	}
+	dir := filepath.Join(build.Default.GOROOT, "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return "", fmt.Errorf("loader: cannot resolve import %q (not in module %s, not in GOROOT)", path, l.modulePath)
+	}
+	return dir, nil
+}
+
+// Import implements types.Importer: dependencies are type-checked from
+// source with function bodies ignored.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	e, err := l.load(path, "", false)
+	if err != nil {
+		return nil, err
+	}
+	return e.tpkg, nil
+}
+
+// Load type-checks the package in dir (which must lie inside the
+// module or an overlay) as an analysis target: full function bodies
+// and a populated types.Info.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.pathOf(abs)
+	if err != nil {
+		return nil, err
+	}
+	e, err := l.load(path, abs, true)
+	if err != nil {
+		return nil, err
+	}
+	return e.pkg, nil
+}
+
+// pathOf derives an import path from a directory inside the module or
+// an overlay.
+func (l *Loader) pathOf(abs string) (string, error) {
+	for prefix, dir := range l.overlays {
+		if rel, err := filepath.Rel(dir, abs); err == nil && !strings.HasPrefix(rel, "..") {
+			if rel == "." {
+				return prefix, nil
+			}
+			return prefix + "/" + filepath.ToSlash(rel), nil
+		}
+	}
+	rel, err := filepath.Rel(l.moduleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("loader: %s is outside module %s", abs, l.moduleRoot)
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// load parses and type-checks one package, caching by import path.
+// Module (and overlay) packages are always checked in full on first
+// load — whether reached as a target or as a dependency — so exactly
+// one types.Package ever exists per path and type identity holds
+// across the whole load; only stdlib dependencies skip function
+// bodies.
+func (l *Loader) load(path, dir string, target bool) (*entry, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if target && e.pkg == nil {
+			return nil, fmt.Errorf("loader: %s loaded as dependency only; cannot re-load as target", path)
+		}
+		return e, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	if dir == "" {
+		var err error
+		dir, err = l.resolve(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: %s: no buildable Go files in %s", path, dir)
+	}
+
+	inModule := path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") || l.overlaid(path)
+	full := target || inModule
+	var info *types.Info
+	if full {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: !full,
+		FakeImportC:      true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	// Stdlib declarations occasionally trip go/types corner cases that
+	// the compiler waves through; tolerate errors in non-module
+	// dependencies (the declarations that did check still resolve) but
+	// insist the module's own packages check clean — an analyzer over a
+	// half-typed target would silently miss violations.
+	if inModule {
+		if firstErr != nil {
+			return nil, fmt.Errorf("loader: type-checking %s: %w", path, firstErr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+		}
+	}
+	if tpkg == nil {
+		return nil, fmt.Errorf("loader: type-checking %s produced no package: %w", path, err)
+	}
+
+	e := &entry{tpkg: tpkg}
+	if full {
+		e.pkg = &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	}
+	l.pkgs[path] = e
+	return e, nil
+}
+
+func (l *Loader) overlaid(path string) bool {
+	for prefix := range l.overlays {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDir parses the non-test Go files of dir that match the current
+// build context (GOOS/GOARCH/build tags), in stable name order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ctx := build.Default
+	bp, err := ctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, nil
+		}
+		return nil, err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	// CgoFiles still carry ordinary Go declarations; parsing them keeps
+	// declaration-complete type-checking for the few stdlib packages
+	// that use cgo with pure-Go fallbacks filtered out.
+	names = append(names, bp.CgoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// TargetDirs walks root and returns every directory containing
+// buildable non-test Go files, skipping testdata, hidden directories,
+// and vendor trees — the "./..." expansion tkij-vet uses.
+func TargetDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				dirs = append(dirs, p)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}

@@ -1,0 +1,55 @@
+package loader
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The loader must type-check every buildable package of this module —
+// stdlib imports resolved from GOROOT source, module imports from the
+// module root — with full bodies and a populated Info.
+func TestLoadModulePackages(t *testing.T) {
+	l, err := New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := TargetDirs(l.ModuleRoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("TargetDirs found only %d package dirs: %v", len(dirs), dirs)
+	}
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", dir, err)
+		}
+		if pkg.Info == nil || len(pkg.Info.Defs) == 0 {
+			t.Errorf("Load(%s): no type info", dir)
+		}
+	}
+	// Spot-check: the store package's View method must be visible with
+	// its receiver type, the shape the pinrelease analyzer matches on.
+	storeDir := filepath.Join(l.ModuleRoot(), "internal", "store")
+	pkg, err := l.Load(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := pkg.Types.Scope().Lookup("Store")
+	if obj == nil {
+		t.Fatal("store.Store not found in loaded package scope")
+	}
+}
+
+// A directory outside the module and all overlays must be rejected
+// rather than silently assigned a bogus import path.
+func TestLoadOutsideModule(t *testing.T) {
+	l, err := New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load(t.TempDir()); err == nil {
+		t.Fatal("Load outside the module succeeded")
+	}
+}

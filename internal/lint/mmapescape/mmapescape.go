@@ -1,0 +1,166 @@
+// Package mmapescape fences the unsafe surface of the zero-copy path.
+// The mmap store hands out []byte and typed slices that alias a
+// memory-mapped file; the aliasing is constructed with unsafe.Slice
+// and is only sound while the mapping's refcount holds the pages. Two
+// fences keep that reasoning local:
+//
+//  1. unsafe may only be touched inside the allowed packages
+//     (internal/mmapstore). Everywhere else a mapped region is an
+//     opaque []byte — new unsafe call sites outside the fence would
+//     silently widen the audit surface the refcount protocol covers.
+//  2. Even inside the fence, an unsafe.Slice result must not be stored
+//     into a package-level variable: a global outlives every
+//     refcount boundary, so the slice would dangle after the region
+//     unmaps. (reflect.SliceHeader/StringHeader are flagged
+//     everywhere — they are deprecated and were never valid for
+//     constructing slices.)
+package mmapescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tkij/internal/lint/analysis"
+)
+
+// DefaultAllowed lists the packages sanctioned to touch unsafe.
+func DefaultAllowed() []string {
+	return []string{"tkij/internal/mmapstore"}
+}
+
+// NewAnalyzer builds the analyzer with an allow-list; tests inject
+// fixture paths.
+func NewAnalyzer(allowed []string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "mmapescape",
+		Doc:  "unsafe stays inside the mmap fence; mapped slices must not outlive refcounts",
+		Run:  func(p *analysis.Pass) error { return run(p, allowed) },
+	}
+}
+
+// Analyzer checks the repo's default fence.
+var Analyzer = NewAnalyzer(DefaultAllowed())
+
+func run(p *analysis.Pass, allowed []string) error {
+	inFence := false
+	for _, a := range allowed {
+		if p.Pkg.Path() == a {
+			inFence = true
+			break
+		}
+	}
+	for _, f := range p.Files {
+		checkFile(p, f, inFence)
+	}
+	return nil
+}
+
+func checkFile(p *analysis.Pass, f *ast.File, inFence bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkSelector(p, n, inFence)
+		case *ast.AssignStmt:
+			if inFence {
+				checkGlobalStore(p, n)
+			}
+		}
+		return true
+	})
+	if inFence {
+		checkGlobalInit(p, f)
+	}
+}
+
+// pkgOf resolves the package a qualified identifier refers to.
+func pkgOf(p *analysis.Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkgName.Imported().Path()
+}
+
+// checkSelector flags unsafe.* outside the fence and the deprecated
+// reflect headers everywhere.
+func checkSelector(p *analysis.Pass, sel *ast.SelectorExpr, inFence bool) {
+	switch pkgOf(p, sel) {
+	case "unsafe":
+		if !inFence {
+			p.Reportf(sel.Pos(), "unsafe.%s outside the mmap fence; mapped memory is only touched via unsafe inside internal/mmapstore", sel.Sel.Name)
+		}
+	case "reflect":
+		switch sel.Sel.Name {
+		case "SliceHeader", "StringHeader":
+			p.Reportf(sel.Pos(), "reflect.%s is deprecated and unsound for constructing slices; use unsafe.Slice inside the mmap fence", sel.Sel.Name)
+		}
+	}
+}
+
+// isUnsafeSliceCall reports whether e is a call to unsafe.Slice or
+// unsafe.String.
+func isUnsafeSliceCall(p *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || pkgOf(p, sel) != "unsafe" {
+		return false
+	}
+	return sel.Sel.Name == "Slice" || sel.Sel.Name == "String"
+}
+
+// isPackageLevel reports whether e names a package-level variable.
+func isPackageLevel(p *analysis.Pass, e ast.Expr) (types.Object, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil || obj.Parent() == nil {
+		return nil, false
+	}
+	return obj, obj.Parent() == p.Pkg.Scope()
+}
+
+// checkGlobalStore flags `global = unsafe.Slice(...)` inside the
+// fence.
+func checkGlobalStore(p *analysis.Pass, assign *ast.AssignStmt) {
+	for i, rhs := range assign.Rhs {
+		if !isUnsafeSliceCall(p, rhs) || i >= len(assign.Lhs) {
+			continue
+		}
+		if obj, global := isPackageLevel(p, assign.Lhs[i]); global {
+			p.Reportf(assign.Pos(), "unsafe.Slice result stored in package-level %q outlives every mapping refcount; keep mapped slices scoped to a retained region", obj.Name())
+		}
+	}
+}
+
+// checkGlobalInit flags `var g = unsafe.Slice(...)` at package level.
+func checkGlobalInit(p *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, val := range vs.Values {
+				if isUnsafeSliceCall(p, val) && i < len(vs.Names) {
+					p.Reportf(vs.Names[i].Pos(), "unsafe.Slice result stored in package-level %q outlives every mapping refcount; keep mapped slices scoped to a retained region", vs.Names[i].Name)
+				}
+			}
+		}
+	}
+}

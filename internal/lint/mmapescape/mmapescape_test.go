@@ -1,0 +1,13 @@
+package mmapescape_test
+
+import (
+	"testing"
+
+	"tkij/internal/lint/analysistest"
+	"tkij/internal/lint/mmapescape"
+)
+
+func TestMmapEscape(t *testing.T) {
+	a := mmapescape.NewAnalyzer([]string{"test/fence"})
+	analysistest.Run(t, "testdata", a, "outside", "fence")
+}

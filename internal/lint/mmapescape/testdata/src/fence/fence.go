@@ -1,0 +1,23 @@
+// Package fence plays the role of internal/mmapstore: unsafe is
+// allowed, but mapped slices must stay scoped to refcounted regions.
+package fence
+
+import "unsafe"
+
+// leaked outlives every refcount boundary.
+var leaked []byte // kept nil; assignments below are the violations
+
+func mapBytes(p unsafe.Pointer, n int) []byte {
+	return unsafe.Slice((*byte)(p), n)
+}
+
+func storeGlobal(p unsafe.Pointer, n int) {
+	leaked = unsafe.Slice((*byte)(p), n) // want `stored in package-level "leaked"`
+}
+
+func storeLocal(p unsafe.Pointer, n int) int {
+	b := unsafe.Slice((*byte)(p), n)
+	return len(b)
+}
+
+var eager = unsafe.Slice((*byte)(unsafe.Pointer(uintptr(0))), 0) // want `stored in package-level "eager"`

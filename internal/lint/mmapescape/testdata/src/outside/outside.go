@@ -1,0 +1,24 @@
+// Package outside is not in the mmap fence; any unsafe use is flagged.
+package outside
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+func peek(b []byte) uintptr {
+	p := unsafe.Pointer(&b[0]) // want `unsafe\.Pointer outside the mmap fence`
+	return uintptr(p)
+}
+
+func header(s string) int {
+	h := (*reflect.StringHeader)(nil) // want `reflect\.StringHeader is deprecated`
+	_ = h
+	return len(s)
+}
+
+// sanctioned documents a vetted exception.
+func sanctioned(x *int) unsafe.Pointer { // want `unsafe\.Pointer outside the mmap fence`
+	//tkij:ignore mmapescape -- fixture: vetted syscall shim, reviewed against the fence rules
+	return unsafe.Pointer(x)
+}

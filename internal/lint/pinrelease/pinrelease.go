@@ -1,0 +1,491 @@
+// Package pinrelease proves that every epoch-pin acquisition is
+// released on every path. The serving engine's memory safety hangs on
+// a hand-enforced pairing: a core.Pin or store.View pins a store epoch
+// (and, on a zero-copy engine, a reference on the snapshot mapping)
+// until Release; an mmapstore.Open holds a mapping reference until
+// Close. A single leaked pin under continuous ingest keeps every
+// bucket of its epoch reachable forever, and a leaked mapping
+// reference defers munmap for the process lifetime — bugs the runtime
+// harnesses only catch when a workload happens to hit them. This
+// analyzer (modeled on go vet's lostcancel) walks the function's
+// control-flow graph instead: from each acquisition, every path to a
+// function exit must pass a Release/Close call or a defer that runs
+// one.
+//
+// An acquisition whose value escapes the function — returned, stored
+// in a struct or map, passed to another call — transfers the release
+// obligation to the new owner and is not reported; `v, err :=` error
+// arms (`if err != nil { return ... }`) are exempt, since the resource
+// is nil exactly there.
+package pinrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tkij/internal/lint/analysis"
+	"tkij/internal/lint/cfg"
+)
+
+// Spec names one acquiring function and the method that discharges
+// its obligation.
+type Spec struct {
+	// Pkg is the defining package's import path.
+	Pkg string
+	// Recv is the receiver type name for methods ("" for package-level
+	// functions).
+	Recv string
+	// Func is the function or method name.
+	Func string
+	// Release is the method on the acquired value that discharges the
+	// obligation (e.g. "Release", "Close").
+	Release string
+}
+
+// DefaultSpecs is the repo's acquisition table: the epoch-pinning and
+// mapping-refcount APIs PRs 3–6 introduced.
+func DefaultSpecs() []Spec {
+	return []Spec{
+		{Pkg: "tkij/internal/core", Recv: "Engine", Func: "Pin", Release: "Release"},
+		{Pkg: "tkij/internal/store", Recv: "Store", Func: "View", Release: "Release"},
+		{Pkg: "tkij/internal/mmapstore", Func: "Open", Release: "Close"},
+	}
+}
+
+// NewAnalyzer builds the analyzer over an acquisition table; tests
+// inject fixture-local specs.
+func NewAnalyzer(specs []Spec) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "pinrelease",
+		Doc:  "acquired pins/views/mapping refs must be released on every path",
+		Run:  func(p *analysis.Pass) error { return run(p, specs) },
+	}
+}
+
+// Analyzer checks the repo's default acquisition table.
+var Analyzer = NewAnalyzer(DefaultSpecs())
+
+func run(p *analysis.Pass, specs []Spec) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkBody(p, specs, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// acquisition is one matched acquiring assignment.
+type acquisition struct {
+	stmt    ast.Node     // the AssignStmt (a CFG node)
+	obj     types.Object // the variable holding the resource
+	errObj  types.Object // the paired error variable, if any
+	release string
+	what    string // diagnostic label: "core.Engine.Pin" etc.
+}
+
+func checkBody(p *analysis.Pass, specs []Spec, body *ast.BlockStmt) {
+	acqs := findAcquisitions(p, specs, body)
+	if len(acqs) == 0 {
+		return
+	}
+	g, ok := cfg.New(body)
+	if !ok {
+		// A construct the CFG builder cannot model soundly; stay silent
+		// rather than guess.
+		return
+	}
+	for _, a := range acqs {
+		checkAcquisition(p, g, body, a)
+	}
+}
+
+// calleeOf resolves a call expression to the invoked *types.Func, or
+// nil for indirect/builtin calls.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// matchSpec reports whether fn is one of the acquiring functions.
+func matchSpec(fn *types.Func, specs []Spec) (Spec, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return Spec{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return Spec{}, false
+	}
+	recvName := ""
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recvName = named.Obj().Name()
+		}
+	}
+	for _, s := range specs {
+		if fn.Pkg().Path() == s.Pkg && fn.Name() == s.Func && recvName == s.Recv {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// findAcquisitions scans body (not descending into nested function
+// literals, which are checked on their own) for assignments whose RHS
+// is a call to an acquiring function.
+func findAcquisitions(p *analysis.Pass, specs []Spec, body *ast.BlockStmt) []acquisition {
+	var acqs []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		spec, ok := matchSpec(calleeOf(p.Info, call), specs)
+		if !ok {
+			return true
+		}
+		a := acquisition{stmt: assign, release: spec.Release, what: specLabel(spec)}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if isErrorType(obj.Type()) {
+				a.errObj = obj
+			} else if hasMethod(obj.Type(), spec.Release) {
+				a.obj = obj
+			}
+		}
+		if a.obj == nil {
+			// The resource result is assigned to `_`: it can never be
+			// released.
+			p.Reportf(assign.Pos(), "result of %s is discarded; it must be retained and %s()d", a.what, a.release)
+			return true
+		}
+		acqs = append(acqs, a)
+		return true
+	})
+	return acqs
+}
+
+func specLabel(s Spec) string {
+	if s.Recv != "" {
+		return s.Pkg + ".(*" + s.Recv + ")." + s.Func
+	}
+	return s.Pkg + "." + s.Func
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// hasMethod reports whether t (or *t, covering pointer-receiver
+// methods on an addressable value) has a method named name.
+func hasMethod(t types.Type, name string) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// use classification for one occurrence of the resource variable.
+type useKind int
+
+const (
+	useNeutral useKind = iota // receiver of a non-release method, nil check, ...
+	useRelease                // x.Release() / x.Close() call
+	useEscape                 // ownership transfers: return, store, argument, closure
+)
+
+// classifyUses walks body once and reports the release call positions
+// and whether the resource escapes. ast.Inspect's pop-on-nil protocol
+// maintains the parent chain.
+func classifyUses(p *analysis.Pass, body *ast.BlockStmt, a acquisition) (releases []token.Pos, escapes bool) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := p.Info.Uses[id]; obj != nil && obj == a.obj {
+			switch classifyUse(p, stack, a) {
+			case useRelease:
+				releases = append(releases, releasePos(stack))
+			case useEscape:
+				escapes = true
+			}
+		}
+		return true
+	})
+	return releases, escapes
+}
+
+// releasePos returns the position the release should be attributed to
+// in the CFG: the enclosing defer statement when the release runs in a
+// deferred closure, else the release call itself.
+func releasePos(stack []ast.Node) token.Pos {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if d, ok := stack[i].(*ast.DeferStmt); ok {
+			return d.Pos()
+		}
+	}
+	return stack[len(stack)-1].Pos()
+}
+
+// classifyUse inspects the parent chain of one identifier use.
+// stack[len-1] is the identifier itself.
+func classifyUse(p *analysis.Pass, stack []ast.Node, a acquisition) useKind {
+	id := stack[len(stack)-1].(*ast.Ident)
+
+	// Inside a nested function literal? A deferred closure is the
+	// idiomatic `defer func() { pin.Release() }()` and classifies like
+	// inline code (the release attributes to the defer statement); any
+	// other closure capture is an escape.
+	for i := len(stack) - 2; i >= 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if i >= 2 {
+			if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == lit {
+				if _, ok := stack[i-2].(*ast.DeferStmt); ok {
+					continue
+				}
+			}
+		}
+		return useEscape
+	}
+
+	if len(stack) < 2 {
+		return useNeutral
+	}
+	parent := stack[len(stack)-2]
+	switch pn := parent.(type) {
+	case *ast.SelectorExpr:
+		if pn.X != id {
+			return useNeutral
+		}
+		// x.M(...) — release method, other method, or field read.
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == pn {
+				if pn.Sel.Name == a.release {
+					return useRelease
+				}
+				return useNeutral // other methods don't transfer ownership
+			}
+		}
+		return useNeutral
+	case *ast.CallExpr:
+		if pn.Fun == id {
+			return useNeutral // calling the variable (not possible for our types)
+		}
+		return useEscape // passed as argument
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return useEscape
+	case *ast.UnaryExpr:
+		if pn.Op == token.AND {
+			return useEscape
+		}
+		return useNeutral
+	case *ast.AssignStmt:
+		for _, lhs := range pn.Lhs {
+			if lhs == id {
+				// Reassignment of the variable itself ends tracking
+				// conservatively (unless it IS the acquisition).
+				if pn == a.stmt {
+					return useNeutral
+				}
+				return useEscape
+			}
+		}
+		// `_ = x` only silences the unused-variable error and moves no
+		// ownership; any real RHS use aliases the resource into another
+		// variable or field, where ownership is ambiguous — stay silent.
+		if len(pn.Lhs) == 1 {
+			if lhs, ok := pn.Lhs[0].(*ast.Ident); ok && lhs.Name == "_" {
+				return useNeutral
+			}
+		}
+		return useEscape
+	case *ast.BinaryExpr:
+		return useNeutral // nil comparison etc.
+	case *ast.IndexExpr:
+		if pn.Index == id {
+			return useNeutral
+		}
+		return useEscape
+	}
+	return useNeutral
+}
+
+// checkAcquisition runs the path analysis for one acquisition.
+func checkAcquisition(p *analysis.Pass, g *cfg.CFG, body *ast.BlockStmt, a acquisition) {
+	releases, escapes := classifyUses(p, body, a)
+	if escapes {
+		return
+	}
+	if len(releases) == 0 {
+		p.Reportf(a.stmt.Pos(), "%s acquired here is never %s()d", a.what, a.release)
+		return
+	}
+
+	// Locate the acquisition in the CFG and mark release-bearing nodes.
+	startBlock, startIdx := -1, -1
+	releaseNodes := make(map[ast.Node]bool)
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == a.stmt {
+				startBlock, startIdx = b.Index, i
+			}
+			for _, pos := range releases {
+				if n.Pos() <= pos && pos <= n.End() {
+					releaseNodes[n] = true
+				}
+			}
+		}
+	}
+	if startBlock < 0 {
+		return // acquisition in unreachable/unmodeled code
+	}
+
+	if leaks(p, g, startBlock, startIdx, releaseNodes, a) {
+		p.Reportf(a.stmt.Pos(), "%s acquired here may not be %s()d on all paths", a.what, a.release)
+	}
+}
+
+// leaks walks every path from the acquisition; true when some path
+// reaches a function exit without passing a release (or a deferred
+// release registration), excluding `err != nil` arms paired with the
+// acquisition and panic exits.
+func leaks(p *analysis.Pass, g *cfg.CFG, startBlock, startIdx int, releaseNodes map[ast.Node]bool, a acquisition) bool {
+	type state struct {
+		block int
+		idx   int
+	}
+	visited := make(map[int]bool)
+	stack := []state{{startBlock, startIdx + 1}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := g.Blocks[s.block]
+		satisfied := false
+		for i := s.idx; i < len(b.Nodes); i++ {
+			if releaseNodes[b.Nodes[i]] {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		if len(b.Succs) == 0 {
+			if b.Panic {
+				continue // leaking into a crash is out of scope
+			}
+			return true
+		}
+		for _, e := range b.Succs {
+			if errExempt(p, e, a) {
+				continue
+			}
+			if !visited[e.To] {
+				visited[e.To] = true
+				stack = append(stack, state{e.To, 0})
+			}
+		}
+	}
+	return false
+}
+
+// errExempt reports whether edge is the error arm paired with the
+// acquisition: taken exactly when the acquisition's err is non-nil, so
+// the resource is nil there and needs no release.
+func errExempt(p *analysis.Pass, e cfg.Edge, a acquisition) bool {
+	if a.errObj == nil || e.Cond == nil {
+		return false
+	}
+	bin, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var errSide ast.Expr
+	switch {
+	case isNil(p, bin.Y):
+		errSide = bin.X
+	case isNil(p, bin.X):
+		errSide = bin.Y
+	default:
+		return false
+	}
+	id, ok := errSide.(*ast.Ident)
+	if !ok || p.Info.Uses[id] != a.errObj {
+		return false
+	}
+	switch bin.Op {
+	case token.NEQ: // err != nil: exempt when taken
+		return e.When
+	case token.EQL: // err == nil: exempt when NOT taken
+		return !e.When
+	}
+	return false
+}
+
+func isNil(p *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	_, isNilObj := obj.(*types.Nil)
+	return isNilObj
+}

@@ -1,0 +1,12 @@
+package pinrelease_test
+
+import (
+	"testing"
+
+	"tkij/internal/lint/analysistest"
+	"tkij/internal/lint/pinrelease"
+)
+
+func TestPinRelease(t *testing.T) {
+	analysistest.Run(t, "testdata", pinrelease.Analyzer, "a", "suppress")
+}

@@ -1,0 +1,132 @@
+// Package a exercises the pinrelease analyzer against the real tkij
+// acquisition APIs. The fixtures are type-checked, never executed.
+package a
+
+import (
+	"tkij/internal/core"
+	"tkij/internal/mmapstore"
+	"tkij/internal/store"
+)
+
+// leakNoRelease never releases the pin at all.
+func leakNoRelease(e *core.Engine) error {
+	pin, err := e.Pin() // want `never Release\(\)d`
+	if err != nil {
+		return err
+	}
+	_ = pin
+	return nil
+}
+
+// leakOnErrorPath releases on the happy path but not when the second
+// call fails — the classic early-return leak.
+func leakOnErrorPath(e *core.Engine, f func() error) error {
+	pin, err := e.Pin() // want `may not be Release\(\)d on all paths`
+	if err != nil {
+		return err
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	pin.Release()
+	return nil
+}
+
+// discarded throws the pin away; nothing can ever release it.
+func discarded(e *core.Engine) {
+	_, _ = e.Pin() // want `discarded`
+}
+
+// okDefer is the blessed pattern.
+func okDefer(e *core.Engine, f func() error) error {
+	pin, err := e.Pin()
+	if err != nil {
+		return err
+	}
+	defer pin.Release()
+	return f()
+}
+
+// okDeferClosure releases inside a deferred closure.
+func okDeferClosure(e *core.Engine, f func() error) error {
+	pin, err := e.Pin()
+	if err != nil {
+		return err
+	}
+	defer func() { pin.Release() }()
+	return f()
+}
+
+// okReturn transfers ownership to the caller.
+func okReturn(e *core.Engine) (*core.Pin, error) {
+	pin, err := e.Pin()
+	if err != nil {
+		return nil, err
+	}
+	return pin, nil
+}
+
+// okExplicitBothArms releases explicitly on every branch.
+func okExplicitBothArms(e *core.Engine, cond bool) error {
+	pin, err := e.Pin()
+	if err != nil {
+		return err
+	}
+	if cond {
+		pin.Release()
+		return nil
+	}
+	pin.Release()
+	return nil
+}
+
+// leakView acquires a store view and drops it.
+func leakView(s *store.Store) int {
+	v := s.View() // want `never Release\(\)d`
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// okView pairs the view with a deferred release.
+func okView(s *store.Store) bool {
+	v := s.View()
+	defer v.Release()
+	return v != nil
+}
+
+// leakReaderBranch closes the mapped reader on one branch only.
+func leakReaderBranch(path string, cond bool) error {
+	r, err := mmapstore.Open(path) // want `may not be Close\(\)d on all paths`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	r.Close()
+	return nil
+}
+
+// okReader closes on the one path that owns the reader.
+func okReader(path string) error {
+	r, err := mmapstore.Open(path)
+	if err != nil {
+		return err
+	}
+	r.Close()
+	return nil
+}
+
+// okPanicPath: leaking into a crash is out of scope.
+func okPanicPath(e *core.Engine, cond bool) {
+	pin, err := e.Pin()
+	if err != nil {
+		panic(err)
+	}
+	if cond {
+		panic("bail")
+	}
+	pin.Release()
+}

@@ -1,0 +1,28 @@
+// Package suppress exercises the //tkij:ignore machinery: a justified
+// suppression silences the diagnostic, a bare marker does not.
+package suppress
+
+import "tkij/internal/core"
+
+// heldForever documents why the pin is intentionally never released.
+func heldForever(e *core.Engine) error {
+	//tkij:ignore pinrelease -- fixture: pin pinned for process lifetime by design
+	pin, err := e.Pin()
+	if err != nil {
+		return err
+	}
+	_ = pin
+	return nil
+}
+
+// halfWritten has a marker with no justification; the diagnostic must
+// survive.
+func halfWritten(e *core.Engine) error {
+	//tkij:ignore pinrelease
+	pin, err := e.Pin() // want `never Release\(\)d`
+	if err != nil {
+		return err
+	}
+	_ = pin
+	return nil
+}
