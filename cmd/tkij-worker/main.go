@@ -1,0 +1,65 @@
+// Command tkij-worker runs one TKIJ shard worker: a TCP server that
+// holds a replica partition of the coordinator's bucket store and
+// evaluates the reducer tasks scattered to it.
+//
+// A worker is stateless on startup — the coordinator (tkijrun
+// -shard-addrs, or any engine configured with Options.ShardAddrs)
+// connects, ships the worker its bucket partition, and then scatters
+// query assignments and streams shared-floor raises over the same
+// connection. Each accepted connection gets a fresh worker replica, so
+// one process can serve successive coordinators (a disconnect discards
+// the replica).
+//
+// Usage:
+//
+//	tkij-worker -listen :7071 &
+//	tkij-worker -listen :7072 &
+//	tkijrun -query Qo,m -shard-addrs localhost:7071,localhost:7072 C1.tsv C2.tsv C3.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"tkij/internal/shard"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":7071", "TCP address to serve shard connections on")
+		verbose = flag.Bool("v", false, "log connection lifecycle")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tkij-worker:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tkij-worker: listening on %s\n", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tkij-worker:", err)
+			os.Exit(1)
+		}
+		go func(conn net.Conn) {
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "tkij-worker: coordinator connected from %s\n", conn.RemoteAddr())
+			}
+			// One fresh replica per connection: Serve reads frames until
+			// the coordinator disconnects or a protocol violation ends the
+			// session, then the replica (and its pinned views) is dropped.
+			err := shard.NewWorker().Serve(conn)
+			if *verbose {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tkij-worker: session from %s ended: %v\n", conn.RemoteAddr(), err)
+				} else {
+					fmt.Fprintf(os.Stderr, "tkij-worker: coordinator %s disconnected\n", conn.RemoteAddr())
+				}
+			}
+		}(conn)
+	}
+}

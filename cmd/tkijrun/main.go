@@ -52,6 +52,19 @@
 // batch the query rode) and queue_ms (admission-to-execution wait):
 //
 //	tkijrun -query Qo,m -concurrency 8 -batch-window 2ms -repeat 3 -json C1.tsv C2.tsv C3.tsv
+//
+// Distributed execution: -shards N splits the bucket store across N
+// shard workers and scatters each query's reducer assignment to them;
+// the coordinator streams the rising shared floor to every worker so
+// remote reducers early-terminate, then gathers and merges their local
+// top-k lists. Results are byte-identical to -shards 1 (the in-process
+// engine). Workers run in-process by default; -shard-addrs connects to
+// external tkij-worker processes over TCP instead:
+//
+//	tkijrun -query Qo,m -shards 3 -json C1.tsv C2.tsv C3.tsv
+//	tkij-worker -listen :7071 &  tkij-worker -listen :7072 &
+//	tkijrun -query Qo,m -shard-addrs localhost:7071,localhost:7072 C1.tsv C2.tsv C3.tsv
+//	tkijrun -query Qo,m -shards 2 -no-floor-broadcast C1.tsv C2.tsv C3.tsv  # ablation
 package main
 
 import (
@@ -60,6 +73,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -92,6 +106,14 @@ type jsonRun struct {
 	// MinKthScore is the minimum k-th local score across reducers that
 	// returned results (0 when none did; never NaN).
 	MinKthScore float64 `json:"min_kth_score"`
+	// Shards is the shard-cluster size the run executed on (0 for the
+	// in-process engine). ShippedBuckets/ShippedRecords count bucket
+	// payloads the coordinator shipped to workers that did not own them,
+	// and FloorFrames the floor-broadcast frames exchanged for this query.
+	Shards         int     `json:"shards"`
+	ShippedBuckets int     `json:"shipped_buckets"`
+	ShippedRecords float64 `json:"shipped_interval_records"`
+	FloorFrames    int64   `json:"floor_frames"`
 }
 
 type jsonReport struct {
@@ -138,6 +160,9 @@ func main() {
 		appendDlt = flag.Bool("append-delta", false, "also record the -append batch as a delta section on the snapshot file (-load-stats or -save-stats path)")
 		appendEvr = flag.Int("append-every", 0, "re-stream the -append batch before every Nth repeat run (interleaves epoch bumps with queries; exercises plan-cache revalidation)")
 		noCache   = flag.Bool("no-plan-cache", false, "disable the query-plan cache: plan every execution cold")
+		shards    = flag.Int("shards", 0, "split the bucket store across N in-process shard workers and run the join distributed (0/1 = local execution)")
+		shardAddr = flag.String("shard-addrs", "", "comma-separated tkij-worker TCP addresses to shard across (overrides -shards)")
+		noFloorBc = flag.Bool("no-floor-broadcast", false, "with -shards: do not stream the rising score floor to workers (ablation; results are unchanged, remote pruning is lost)")
 		conc      = flag.Int("concurrency", 1, "submit N copies of the query concurrently per repeat round through the admission/batching layer (1 = direct execution)")
 		batchWin  = flag.Duration("batch-window", time.Millisecond, "admission batching window (with -concurrency > 1)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
@@ -189,6 +214,10 @@ func main() {
 		Granules: *g, K: *k, Reducers: *reducers, Strategy: strat, Distribution: alg,
 		PlanCache: tkij.PlanCacheOptions{Disabled: *noCache},
 		Mmap:      *useMmap,
+		Shards:    *shards, ShardNoFloorBroadcast: *noFloorBc,
+	}
+	if *shardAddr != "" {
+		opts.ShardAddrs = strings.Split(*shardAddr, ",")
 	}
 	var engine *tkij.Engine
 	if *loadStats != "" {
@@ -332,6 +361,10 @@ func main() {
 				MinKthScore:         minKth(report),
 				Batch:               report.BatchSize,
 				QueueMillis:         millis(report.QueueWait),
+				Shards:              report.ShardCount,
+				ShippedBuckets:      report.ShardShippedBuckets,
+				ShippedRecords:      report.ShardShippedRecords,
+				FloorFrames:         report.ShardFloorFrames,
 			})
 			if !*jsonOut && (*repeat > 1 || *conc > 1) {
 				fmt.Printf("run %d: %v (plan %s %v, join %v, batch %d, queue %v, trees built %d, reused %d)\n",
@@ -379,6 +412,10 @@ func main() {
 		fmt.Printf("  join:       %v  (%d bucket refs routed, 0 raw intervals shuffled, shared floor %.3f, reducer imbalance %.2f)\n",
 			report.JoinTime, report.Join.RoutedBucketEntries, report.Join.SharedFloor, report.Imbalance())
 		fmt.Printf("  store:      %d trees built, %d reused this query\n", report.TreesBuilt, report.TreesReused)
+		if report.ShardCount > 0 {
+			fmt.Printf("  shards:     %d workers (%d buckets / %.0f records shipped, %d floor frames)\n",
+				report.ShardCount, report.ShardShippedBuckets, report.ShardShippedRecords, report.ShardFloorFrames)
+		}
 		fmt.Printf("  merge:      %v\n", report.MergeTime)
 	}
 	for i, r := range report.Results {

@@ -16,6 +16,7 @@ import (
 	"tkij/internal/mmapstore"
 	"tkij/internal/plancache"
 	"tkij/internal/query"
+	"tkij/internal/shard"
 	"tkij/internal/snapshot"
 	"tkij/internal/stats"
 	"tkij/internal/store"
@@ -62,6 +63,22 @@ type Options struct {
 	// instead of the open. Ignored by NewEngine (a cold build has no
 	// file to map).
 	Mmap bool
+	// Shards > 1 runs the join phase across that many shard workers: the
+	// resident bucket partition is split over the workers by the shard
+	// manifest, DTB reducer tasks scatter to the shards over the wire
+	// protocol, and the cross-reducer score floor is broadcast so remote
+	// reducers early-terminate like local ones. 0 or 1 keeps the
+	// single-process local runner. With ShardAddrs empty the workers run
+	// in-process (net.Pipe transport, full wire protocol).
+	Shards int
+	// ShardAddrs connects to external tkij-worker processes over TCP
+	// instead of in-process workers; its length overrides Shards.
+	ShardAddrs []string
+	// ShardNoFloorBroadcast keeps each worker's score floor local — the
+	// floor-broadcast ablation. Results are identical (the floor is a
+	// certified lower bound either way); remote reducers just prune
+	// less.
+	ShardNoFloorBroadcast bool
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +113,20 @@ type Engine struct {
 	// (Options.Mmap); nil for heap-built and heap-restored engines. Its
 	// background verification outcome gates query admission in prepared.
 	mapped *mmapstore.Reader
+
+	// cluster is the shard coordinator when Options.Shards > 1, created
+	// lazily with the store and replica-loaded from it. shardWorkers
+	// holds the in-process workers (nil for a TCP cluster) — test
+	// introspection and nothing else.
+	cluster      *shard.Cluster
+	shardWorkers []*shard.Worker
+	// shardGate serializes Append against in-flight pins when a cluster
+	// is active: a Pin holds the read side until Release, Append takes
+	// the write side while forwarding the batch to the worker replicas.
+	// This keeps every scattered query's epoch equal to the worker
+	// replica epoch — the coordinator cannot grow the replicas while a
+	// pinned query might still scatter against the old epoch.
+	shardGate sync.RWMutex
 
 	// StatsMetrics describes the statistics-collection job after
 	// PrepareStats (or the first Execute) has run. Like StatsDuration
@@ -304,6 +335,7 @@ func (e *Engine) Close() {
 		e.store.Close()
 	}
 	e.mapped = nil
+	e.closeClusterLocked()
 }
 
 // Mapped reports whether this engine serves sealed buckets straight
@@ -353,7 +385,7 @@ func (e *Engine) prepareLocked() error {
 				return fmt.Errorf("core: mapped snapshot failed verification: %w", err)
 			}
 		}
-		return nil
+		return e.startClusterLocked()
 	}
 	start := time.Now()
 	if e.matrices == nil {
@@ -380,7 +412,69 @@ func (e *Engine) prepareLocked() error {
 	e.store = st
 	e.StoreBuildDuration += time.Since(buildStart)
 	e.StatsDuration += time.Since(start)
+	return e.startClusterLocked()
+}
+
+// startClusterLocked brings up the shard cluster (once) when the
+// options ask for distributed execution: in-process workers by default,
+// TCP workers when ShardAddrs names them, replica-loaded from the
+// store's current epoch. Callers hold e.mu. A cluster that faulted
+// (worker lost, protocol violation) stays poisoned — every execution
+// fails fast with the original cause — until InvalidateStore tears it
+// down and the next preparation builds a fresh one.
+func (e *Engine) startClusterLocked() error {
+	if e.cluster != nil || (e.opts.Shards <= 1 && len(e.opts.ShardAddrs) == 0) {
+		return nil
+	}
+	copts := shard.ClusterOptions{NoFloorBroadcast: e.opts.ShardNoFloorBroadcast}
+	if len(e.opts.ShardAddrs) > 0 {
+		//tkij:ignore ctxflow -- the cluster is engine-scoped, not request-scoped: dialing happens inside ctx-less preparation (Pin) and the connections outlive whichever query triggered them, so no caller context exists to derive from
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		c, err := shard.Dial(ctx, e.opts.ShardAddrs, copts)
+		if err != nil {
+			return err
+		}
+		e.cluster = c
+	} else {
+		c, workers, err := shard.InProcess(e.opts.Shards, copts)
+		if err != nil {
+			return err
+		}
+		e.cluster = c
+		e.shardWorkers = workers
+	}
+	if err := e.cluster.LoadStore(e.store); err != nil {
+		e.cluster.Close()
+		e.cluster, e.shardWorkers = nil, nil
+		return err
+	}
 	return nil
+}
+
+// closeClusterLocked tears the shard cluster down (idempotent).
+func (e *Engine) closeClusterLocked() {
+	if e.cluster != nil {
+		e.cluster.Close()
+	}
+	e.cluster, e.shardWorkers = nil, nil
+}
+
+// Sharded reports whether the engine currently runs joins across a
+// shard cluster.
+func (e *Engine) Sharded() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cluster != nil
+}
+
+// ShardWorkers exposes the in-process shard workers for test
+// introspection (replica epochs, pin accounting); nil before the
+// cluster starts or when the cluster is TCP-backed.
+func (e *Engine) ShardWorkers() []*shard.Worker {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.shardWorkers
 }
 
 // InvalidateStore discards the resident bucket partition (and its
@@ -412,6 +506,10 @@ func (e *Engine) InvalidateStore() {
 	}
 	e.store = nil
 	e.mapped = nil
+	// A shard cluster replicates the partition being discarded (and may
+	// be poisoned by a worker fault); drop it with the store so the next
+	// preparation loads fresh replicas from the rebuilt partition.
+	e.closeClusterLocked()
 	// The rebuild restarts the epoch sequence at 0, and the mutation
 	// that prompted it may have shrunk buckets — both outside the plan
 	// cache's append-only revalidation model, so cached plans must go.
@@ -465,7 +563,27 @@ func (e *Engine) Append(col int, ivs []interval.Interval) (int64, error) {
 	if e.store == nil {
 		return 0, nil
 	}
-	return e.store.Append(col, ivs)
+	if e.cluster == nil {
+		return e.store.Append(col, ivs)
+	}
+	// Grow the coordinator store and the worker replicas in lockstep,
+	// with no pinned query in flight: pins hold the gate's read side, so
+	// the epoch a query scattered at is always the epoch the replicas
+	// serve. (Lock order is e.mu then shardGate everywhere; pin Release
+	// needs neither, so waiting here cannot deadlock.)
+	e.shardGate.Lock()
+	defer e.shardGate.Unlock()
+	epoch, err := e.store.Append(col, ivs)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.cluster.Append(col, ivs); err != nil {
+		// The replicas are now behind the coordinator; the cluster has
+		// poisoned itself, so distributed executions fail fast rather
+		// than serve a stale epoch. InvalidateStore recovers.
+		return 0, fmt.Errorf("core: shard replicas lost append epoch %d: %w", epoch, err)
+	}
+	return epoch, nil
 }
 
 // Epoch returns the store's current ingest epoch: 0 until the first
@@ -485,19 +603,6 @@ func (e *Engine) Epoch() int64 {
 // solver-work cost.
 func (e *Engine) PlanCacheStats() plancache.Stats {
 	return e.plans.Stats()
-}
-
-// prepared returns the matrices, the store, and a view of the store
-// pinned at the current epoch, running the offline phase first if
-// needed. Matrices and view are captured under one critical section, so
-// they describe the same epoch even while Append calls land.
-func (e *Engine) prepared() ([]*stats.Matrix, *store.Store, *store.View, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.prepareLocked(); err != nil {
-		return nil, nil, nil, err
-	}
-	return e.matrices, e.store, e.store.View(), nil
 }
 
 // ErrCanceled marks an execution aborted between phases because its
@@ -527,26 +632,47 @@ type Pin struct {
 	matrices []*stats.Matrix
 	store    *store.Store
 	view     *store.View
+	// runner is the shard cluster the pin's executions scatter to; nil
+	// runs the local in-process runner. gated marks that the pin holds
+	// the engine's scatter gate (read side) and must give it back on
+	// Release.
+	runner   join.Runner
+	gated    bool
 	released atomic.Bool
 }
 
 // Pin captures (matrices, store view) at the current epoch, running
-// the offline preparation first if needed.
+// the offline preparation first if needed. When a shard cluster is
+// active the pin also holds the scatter gate until Release, so worker
+// replicas stay at the pinned epoch for the pin's whole lifetime.
 func (e *Engine) Pin() (*Pin, error) {
-	ms, st, view, err := e.prepared()
-	if err != nil {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.prepareLocked(); err != nil {
 		return nil, err
 	}
-	return &Pin{e: e, matrices: ms, store: st, view: view}, nil
+	p := &Pin{e: e, matrices: e.matrices, store: e.store}
+	if e.cluster != nil {
+		e.shardGate.RLock()
+		p.runner = e.cluster
+		p.gated = true
+	}
+	view := e.store.View()
+	p.view = view
+	return p, nil
 }
 
 // Epoch returns the store epoch the pin captured.
 func (p *Pin) Epoch() int64 { return p.view.Epoch() }
 
-// Release retires the pin's store view from the live-view accounting.
+// Release retires the pin's store view from the live-view accounting
+// and, on a sharded engine, reopens the scatter gate for appends.
 func (p *Pin) Release() {
 	if p != nil && !p.released.Swap(true) {
 		p.view.Release()
+		if p.gated {
+			p.e.shardGate.RUnlock()
+		}
 	}
 }
 
@@ -651,6 +777,19 @@ type Report struct {
 	// this query's execution: the batching window plus any queueing
 	// behind earlier batches.
 	QueueWait time.Duration
+
+	// ShardCount is the number of shard workers the join scattered to
+	// (0 for a local, single-process execution). The three fields below
+	// are meaningful only when it is non-zero.
+	ShardCount int
+	// ShardShippedBuckets and ShardShippedRecords count foreign bucket
+	// payloads the coordinator shipped to shards that needed buckets
+	// they do not own (the distributed replication cost DTB minimizes).
+	ShardShippedBuckets int
+	ShardShippedRecords float64
+	// ShardFloorFrames counts floor-broadcast frames exchanged with the
+	// workers in both directions (0 under ShardNoFloorBroadcast).
+	ShardFloorFrames int64
 
 	// PlanCacheHit reports that the planning phases were skipped
 	// entirely: a cached plan for this query shape at this exact epoch
@@ -849,8 +988,9 @@ func (e *Engine) ExecutePinned(ctx context.Context, q *query.Query, mapping []in
 	localOpts.Share = share
 	localOpts.FloorKey = floorKey
 	storeBefore := st.Snapshot()
-	out, err := join.Run(ctx, q, srcs, grans, tb.Selected, assign, e.opts.K,
-		mapreduce.Config{Mappers: e.opts.Mappers, Reducers: e.opts.Reducers}, localOpts)
+	out, err := join.RunWith(ctx, q, srcs, grans, tb.Selected, assign, e.opts.K,
+		mapreduce.Config{Mappers: e.opts.Mappers, Reducers: e.opts.Reducers}, localOpts,
+		mapping, pin.runner)
 	if err != nil {
 		// Translate only genuine cancellation aborts; a real join
 		// failure that merely races a deadline must surface as itself.
@@ -865,6 +1005,12 @@ func (e *Engine) ExecutePinned(ctx context.Context, q *query.Query, mapping []in
 	report.DeltaTreesBuilt = storeAfter.DeltaTreesBuilt - storeBefore.DeltaTreesBuilt
 	report.Join = out
 	report.Results = out.Results
+	if c, ok := pin.runner.(*shard.Cluster); ok {
+		report.ShardCount = c.Shards()
+		report.ShardShippedBuckets = out.ShippedBuckets
+		report.ShardShippedRecords = out.ShippedRecords
+		report.ShardFloorFrames = out.FloorFrames
+	}
 	// The two jobs are timed independently inside join.Run. Deriving
 	// MergeTime from the merge job's internal Metrics.Total and
 	// subtracting it from one outer window went negative under scheduler

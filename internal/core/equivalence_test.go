@@ -12,6 +12,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"reflect"
+	"slices"
 	"testing"
 
 	"tkij/internal/baselines"
@@ -21,6 +23,16 @@ import (
 	"tkij/internal/query"
 	"tkij/internal/scoring"
 )
+
+// cloneCols deep-copies collections so engines that grow their dataset
+// in place (Append) can run side by side over identical data.
+func cloneCols(cols []*interval.Collection) []*interval.Collection {
+	out := make([]*interval.Collection, len(cols))
+	for i, c := range cols {
+		out[i] = &interval.Collection{Name: c.Name, Items: slices.Clone(c.Items)}
+	}
+	return out
+}
 
 // randomCollection draws sizes, spans and lengths from the rng so the
 // harness covers dense, sparse, short- and long-interval shapes.
@@ -71,19 +83,22 @@ func randomQuery(rng *rand.Rand, n int, avg float64) (*query.Query, error) {
 	return query.New(fmt.Sprintf("rand-n%d", n), n, edges, agg)
 }
 
-// appendBatch grows one collection with rng-drawn intervals, routed
-// through the engine's streaming path.
-func appendBatch(t *testing.T, e *Engine, cols []*interval.Collection, rng *rand.Rand, idBase int64) {
+// appendBatch grows one collection with rng-drawn intervals, routing
+// the identical batch through every engine's streaming path (each
+// engine owns its own copy of the dataset).
+func appendBatch(t *testing.T, engines []*Engine, nCols int, rng *rand.Rand, idBase int64) {
 	t.Helper()
-	col := rng.Intn(len(cols))
+	col := rng.Intn(nCols)
 	span := int64(500 + rng.Intn(4500)) // may exceed the original span: exercises granule clamping
 	batch := make([]interval.Interval, 5+rng.Intn(12))
 	for i := range batch {
 		s := rng.Int63n(span)
 		batch[i] = interval.Interval{ID: idBase + int64(i), Start: s, End: s + 1 + rng.Int63n(120)}
 	}
-	if _, err := e.Append(col, batch); err != nil {
-		t.Fatal(err)
+	for _, e := range engines {
+		if _, err := e.Append(col, batch); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
@@ -116,6 +131,23 @@ func TestEngineMatchesNaiveRandomized(t *testing.T) {
 				t.Fatal(err)
 			}
 			vertexCols := cols[:n]
+
+			// The same dataset and options served by shard clusters of
+			// every size: the distributed join must be indistinguishable
+			// from the 1-process engine, stage by stage, append by append.
+			shardNs := []int{2, 3, 5}
+			shardEngines := make([]*Engine, len(shardNs))
+			for i, nsh := range shardNs {
+				opts := e.Options()
+				opts.Shards = nsh
+				se, err := NewEngine(cloneCols(cols), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer se.Close()
+				shardEngines[i] = se
+			}
+			allEngines := append([]*Engine{e}, shardEngines...)
 
 			check := func(stage string, wantEpoch int64) {
 				report, err := e.Execute(context.Background(), q)
@@ -158,15 +190,55 @@ func TestEngineMatchesNaiveRandomized(t *testing.T) {
 						t.Fatalf("%s: result tuple %v reports score %g, rescores to %g", stage, r.Tuple, r.Score, got)
 					}
 				}
+				// N-shard equivalence: every cluster size returns the
+				// byte-identical result list — same tuples, same scores,
+				// same order — at the same pinned epoch.
+				for i, se := range shardEngines {
+					sreport, err := se.Execute(context.Background(), q)
+					if err != nil {
+						t.Fatalf("%s: %d-shard engine: %v", stage, shardNs[i], err)
+					}
+					if sreport.ShardCount != shardNs[i] {
+						t.Fatalf("%s: report says %d shards, want %d", stage, sreport.ShardCount, shardNs[i])
+					}
+					if sreport.Epoch != wantEpoch {
+						t.Fatalf("%s: %d-shard engine pinned epoch %d, want %d", stage, shardNs[i], sreport.Epoch, wantEpoch)
+					}
+					if !reflect.DeepEqual(sreport.Results, report.Results) {
+						for j := range report.Results {
+							t.Logf("local  %d: %v %v", j, report.Results[j].Score, report.Results[j].Tuple)
+						}
+						for j := range sreport.Results {
+							t.Logf("shard  %d: %v %v", j, sreport.Results[j].Score, sreport.Results[j].Tuple)
+						}
+						t.Fatalf("%s: %d-shard top-%d is not identical to the 1-process engine on %s",
+							stage, shardNs[i], k, q.Name)
+					}
+				}
 			}
 
 			check("initial", 0)
 			// A sequence of appends must keep the engine exact: the
 			// collections grow in place, so the oracle re-enumerates the
-			// post-append cross product each time.
+			// post-append cross product each time. Every shard engine
+			// receives the identical batches (its replicas grow through
+			// the coordinator's lockstep forwarding).
 			for b := int64(1); b <= 3; b++ {
-				appendBatch(t, e, cols, rng, 9_000_000+b*1000)
+				appendBatch(t, allEngines, n, rng, 9_000_000+b*1000)
 				check(fmt.Sprintf("after append %d", b), b)
+			}
+			// No pinned view may outlive its execution — on the
+			// coordinator stores or on any worker replica.
+			for i, se := range allEngines {
+				if vs := se.Store().ViewStats(); vs.Live != 0 {
+					t.Fatalf("engine %d holds %d live views after the run", i, vs.Live)
+				}
+				for wi, w := range se.ShardWorkers() {
+					w.Quiesce()
+					if vs := w.Store().ViewStats(); vs.Live != 0 {
+						t.Fatalf("engine %d worker %d holds %d live views", i, wi, vs.Live)
+					}
+				}
 			}
 		})
 	}

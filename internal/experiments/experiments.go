@@ -198,6 +198,7 @@ func All(ctx context.Context, cfg Config) ([]*Table, error) {
 		{"plancache", PlanCache},
 		{"admission", Admission},
 		{"mmap", Mmap},
+		{"shards", Shards},
 	}
 	var all []*Table
 	for _, r := range runners {
@@ -235,6 +236,7 @@ func ByID(ctx context.Context, id string, cfg Config) ([]*Table, error) {
 		"plancache": PlanCache,
 		"admission": Admission,
 		"mmap":      Mmap,
+		"shards":    Shards,
 	}
 	fn, ok := drivers[id]
 	if !ok {

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"time"
+
+	"tkij/internal/core"
+	"tkij/internal/datagen"
+	"tkij/internal/distribute"
+	"tkij/internal/interval"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+	"tkij/internal/topbuckets"
+)
+
+// Shards measures the distributed execution path (beyond the paper,
+// toward the cluster-scale north star): the same query served by the
+// in-process engine and by shard clusters of 2 and 4 workers, with the
+// shared-floor broadcast on and off. Every row's top-k is checked
+// byte-identical against the local baseline before it is reported, so
+// the table measures cost, never correctness drift. The on/off pairs
+// isolate what the floor broadcast buys: with it, remote reducers see
+// the cluster-wide k-th score and prune partial tuples that a
+// floor-silent worker would fully score.
+func Shards(ctx context.Context, cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.size(20000)
+	k := cfg.k(100)
+	const g = 20
+	mkCols := func() []*interval.Collection {
+		return []*interval.Collection{
+			datagen.Uniform("C1", n, 81), datagen.Uniform("C2", n, 82), datagen.Uniform("C3", n, 83),
+		}
+	}
+	env := query.Env{Params: scoring.P1}
+	shapes := queriesByName(env, "Qo,m")
+	q := shapes[0]
+
+	type mode struct {
+		name    string
+		shards  int
+		noFloor bool
+	}
+	modes := []mode{
+		{name: "local", shards: 0},
+		{name: "2 workers", shards: 2},
+		{name: "2 workers no-floor", shards: 2, noFloor: true},
+		{name: "4 workers", shards: 4},
+		{name: "4 workers no-floor", shards: 4, noFloor: true},
+	}
+
+	t := &Table{
+		ID:      "shards",
+		Title:   fmt.Sprintf("Shard-parallel execution with shared-floor broadcast (|Ci|=%d, k=%d, %s)", n, k, q.Name),
+		Columns: []string{"mode", "join(ms)", "shipped-buckets", "shipped-records", "floor-frames", "tuples-examined", "partials-pruned", "prune%"},
+		Note:    "every row's top-k verified byte-identical to the local baseline; prune% = partials cut by the score floor over all partials considered — no-floor rows show what remote reducers lose without the broadcast",
+	}
+	var baseline *core.Report
+	for _, m := range modes {
+		engine, err := core.NewEngine(mkCols(), core.Options{
+			Granules: g, K: k,
+			Reducers:              cfg.Reducers,
+			Mappers:               cfg.Mappers,
+			Strategy:              topbuckets.Loose,
+			Distribution:          distribute.AlgDTB,
+			Shards:                m.shards,
+			ShardNoFloorBroadcast: m.noFloor,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := engine.PrepareStats(); err != nil {
+			engine.Close()
+			return nil, err
+		}
+		// Warm run: first-touch R-tree builds (and the cluster's store
+		// scatter) are paid before the measured run.
+		if _, err := engine.Execute(ctx, q); err != nil {
+			engine.Close()
+			return nil, err
+		}
+		start := time.Now()
+		report, err := engine.Execute(ctx, q)
+		wall := time.Since(start)
+		if err != nil {
+			engine.Close()
+			return nil, err
+		}
+		if baseline == nil {
+			baseline = report
+		} else if !reflect.DeepEqual(report.Results, baseline.Results) {
+			engine.Close()
+			return nil, fmt.Errorf("experiments: shards: %s top-%d diverged from the local baseline", m.name, k)
+		}
+		var examined, pruned int64
+		for _, l := range report.Join.Locals {
+			examined += l.TuplesExamined
+			pruned += l.PartialsPruned
+		}
+		prunePct := 0.0
+		if examined+pruned > 0 {
+			prunePct = 100 * float64(pruned) / float64(examined+pruned)
+		}
+		t.Rows = append(t.Rows, []string{
+			m.name, ms(wall),
+			fmt.Sprintf("%d", report.ShardShippedBuckets),
+			fmt.Sprintf("%.0f", report.ShardShippedRecords),
+			fmt.Sprintf("%d", report.ShardFloorFrames),
+			fmt.Sprintf("%d", examined),
+			fmt.Sprintf("%d", pruned),
+			f2(prunePct),
+		})
+		engine.Close()
+		cfg.logf("  shards %s done (%v join, %d pruned)", m.name, wall, pruned)
+	}
+	return []*Table{t}, nil
+}

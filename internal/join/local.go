@@ -716,6 +716,33 @@ func (lj *localJoiner) partialUpperBound() float64 {
 	return lj.plan.q.Agg.Aggregate(lj.scratch)
 }
 
+// RunReducer evaluates one reducer's combination list against srcs with
+// a live shared floor — the per-reducer entry the remote execution path
+// (internal/shard workers) runs for each reducer scattered to it.
+// Unlike RunLocal's static floor, shared is consulted and raised
+// throughout the run, so floor broadcasts arriving mid-query
+// early-terminate the reducer exactly as an in-process sibling would.
+// shared may be nil (pruning disabled); opts.Share must be nil — the
+// batch-sharing registry does not cross the wire.
+func RunReducer(q *query.Query, k int, combos []topbuckets.Combo, srcs []Source,
+	grans []stats.Grid, opts LocalOptions, shared *SharedFloor) ([]Result, LocalStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, LocalStats{}, err
+	}
+	if k < 1 {
+		return nil, LocalStats{}, fmt.Errorf("join: k must be >= 1, got %d", k)
+	}
+	if len(srcs) != q.NumVertices {
+		return nil, LocalStats{}, fmt.Errorf("join: query %s has %d vertices but %d sources", q.Name, q.NumVertices, len(srcs))
+	}
+	if opts.Share != nil {
+		return nil, LocalStats{}, fmt.Errorf("join: RunReducer cannot carry a batch-sharing registry")
+	}
+	lj := newLocalJoiner(newPlan(q), k, opts, srcs, grans, shared)
+	results := lj.Run(combos)
+	return results, lj.stats, nil
+}
+
 // RunLocal evaluates the query over explicit bucket data (keys scoped
 // by query vertex) — usable directly for single-process execution and
 // tests. grans (one granulation + extent grid per query vertex)

@@ -3,7 +3,6 @@ package join
 import (
 	"context"
 	"fmt"
-	"slices"
 	"sort"
 	"time"
 
@@ -47,8 +46,19 @@ type Output struct {
 	// interval slices and memoized R-trees in place. It is derived from
 	// the job's actual shuffle accounting, so a future path that ships
 	// per-interval records again shows up here (and in the regression
-	// tests) immediately.
+	// tests) immediately. Remote runners have no in-process shuffle;
+	// their shipping cost is reported in ShippedBuckets/ShippedRecords
+	// instead and this stays zero.
 	RawIntervalsShuffled int64
+	// ShippedBuckets and ShippedRecords count bucket payloads a remote
+	// runner shipped to shard workers that did not own them — the
+	// network sibling of the replication cost DTB minimizes. Zero for
+	// local execution.
+	ShippedBuckets int
+	ShippedRecords float64
+	// FloorFrames counts floor-broadcast frames exchanged with shard
+	// workers for this query (zero for local execution).
+	FloorFrames int64
 	// SharedFloor is the final cross-reducer threshold (0 when pruning
 	// was disabled).
 	SharedFloor float64
@@ -77,13 +87,6 @@ type routedRef struct {
 	count int
 }
 
-// reducerOut is one reduce task's full output.
-type reducerOut struct {
-	reducer int
-	results []Result
-	stats   LocalStats
-}
-
 // Run executes steps (c)-(e) of Figure 5: the join Map-Reduce job using
 // the given workload assignment, followed by the merge job. srcs[i]
 // serves query vertex i's resident bucket data (see Source); grans[i]
@@ -101,10 +104,22 @@ type reducerOut struct {
 //
 // ctx is consulted between the two Map-Reduce jobs (and before the
 // first): a canceled context aborts with ctx.Err() before the next job
-// starts. Individual reduce tasks are not interrupted mid-flight.
+// starts. Individual local reduce tasks are not interrupted mid-flight.
 func Run(ctx context.Context, q *query.Query, srcs []Source, grans []stats.Grid,
 	combos []topbuckets.Combo, assign *distribute.Assignment, k int,
 	cfg mapreduce.Config, opts LocalOptions) (*Output, error) {
+	return RunWith(ctx, q, srcs, grans, combos, assign, k, cfg, opts, nil, nil)
+}
+
+// RunWith is Run with the reduce execution pluggable: runner evaluates
+// the reducers (nil selects the in-process local runner) and mapping
+// carries the vertex-to-collection mapping remote runners need (nil =
+// identity; ignored by the local runner). A runner that aborts on a
+// canceled context returns an error wrapping ctx.Err(), which callers
+// translate exactly like the between-phase checks here.
+func RunWith(ctx context.Context, q *query.Query, srcs []Source, grans []stats.Grid,
+	combos []topbuckets.Combo, assign *distribute.Assignment, k int,
+	cfg mapreduce.Config, opts LocalOptions, mapping []int, runner Runner) (*Output, error) {
 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("join: canceled before join phase: %w", err)
@@ -116,46 +131,13 @@ func Run(ctx context.Context, q *query.Query, srcs []Source, grans []stats.Grid,
 	if k < 1 {
 		return nil, fmt.Errorf("join: k must be >= 1, got %d", k)
 	}
-	cfg.Reducers = assign.Reducers
-
-	// Per-reducer combination lists, in the assignment's order.
-	reducerCombos := make([][]topbuckets.Combo, assign.Reducers)
-	for rj, idxs := range assign.ReducerCombos {
-		for _, ci := range idxs {
-			reducerCombos[rj] = append(reducerCombos[rj], combos[ci])
-		}
-	}
-
-	// One input per routed bucket, in deterministic key order. Buckets
-	// outside the assignment (pruned by TopBuckets) are never routed —
-	// the same I/O saving as before, now measured in references.
-	keys := make([]stats.BucketKey, 0, len(assign.BucketReducers))
-	for key := range assign.BucketReducers {
-		keys = append(keys, key)
-	}
-	slices.SortFunc(keys, func(a, b stats.BucketKey) int {
-		if a.Col != b.Col {
-			return a.Col - b.Col
-		}
-		if a.StartG != b.StartG {
-			return a.StartG - b.StartG
-		}
-		return a.EndG - b.EndG
-	})
-	inputs := make([]bucketRoute, len(keys))
-	for i, key := range keys {
-		inputs[i] = bucketRoute{
-			key:      key,
-			count:    len(srcs[key.Col].BucketItems(key.StartG, key.EndG)),
-			reducers: assign.BucketReducers[key],
-		}
-	}
 
 	// The shared global threshold (§3.4's early-termination payoff):
 	// every reducer both consults and raises it. Under admission
 	// batching the floor is drawn from the batch-scoped registry
 	// instead, so sibling executions with the same plan-identity key
-	// raise and consult one floor together.
+	// raise and consult one floor together. Remote runners broadcast
+	// its raises to their workers and fold worker raises back in.
 	var shared *SharedFloor
 	if !opts.DisablePruning {
 		if opts.Share != nil && opts.FloorKey != "" {
@@ -165,48 +147,46 @@ func Run(ctx context.Context, q *query.Query, srcs []Source, grans []stats.Grid,
 		}
 	}
 
-	plan := newPlan(q)
-	if opts.Share != nil {
-		plan.computeEdgeSigs()
+	if runner == nil {
+		runner = localRunner{}
 	}
-	joinJob := mapreduce.Job[bucketRoute, int, routedRef, reducerOut]{
-		Name: "rtj-join",
-		Map: func(in bucketRoute, emit func(int, routedRef)) error {
-			for _, rj := range in.reducers {
-				emit(rj, routedRef{count: in.count})
-			}
-			return nil
-		},
-		Partition: mapreduce.IdentityPartition,
-		Reduce: func(rj int, refs []routedRef, emit func(reducerOut)) error {
-			lj := newLocalJoiner(plan, k, opts, srcs, grans, shared)
-			results := lj.Run(reducerCombos[rj])
-			lj.stats.Reducer = rj
-			lj.stats.BucketRefsRouted = len(refs)
-			for _, ref := range refs {
-				lj.stats.RoutedIntervals += float64(ref.count)
-			}
-			emit(reducerOut{reducer: rj, results: results, stats: lj.stats})
-			return nil
-		},
+	req := &ReduceRequest{
+		Query:   q,
+		Mapping: mapping,
+		Srcs:    srcs,
+		Grans:   grans,
+		Combos:  combos,
+		Assign:  assign,
+		K:       k,
+		Config:  cfg,
+		Opts:    opts,
+		Shared:  shared,
 	}
 	joinStart := time.Now()
-	joinOut, joinMetrics, err := mapreduce.Run(joinJob, inputs, cfg)
+	rout, err := runner.RunReducers(ctx, req)
 	if err != nil {
 		return nil, fmt.Errorf("join: join phase: %w", err)
 	}
 	joinWall := time.Since(joinStart)
 
-	out := &Output{JoinMetrics: joinMetrics, Locals: make([]LocalStats, assign.Reducers)}
-	for _, ro := range joinOut {
-		out.Locals[ro.reducer] = ro.stats
-		out.RoutedBucketEntries += ro.stats.BucketRefsRouted
-		out.RoutedIntervalRecords += ro.stats.RoutedIntervals
+	out := &Output{
+		JoinMetrics:    rout.Metrics,
+		Locals:         make([]LocalStats, assign.Reducers),
+		ShippedBuckets: rout.ShippedBuckets,
+		ShippedRecords: rout.ShippedRecords,
+		FloorFrames:    rout.FloorFrames,
+	}
+	for _, ro := range rout.Reducers {
+		out.Locals[ro.Reducer] = ro.Stats
+		out.RoutedBucketEntries += ro.Stats.BucketRefsRouted
+		out.RoutedIntervalRecords += ro.Stats.RoutedIntervals
 	}
 	// Everything the join job shuffled beyond the counted references
 	// would be raw per-interval records; with the resident store there
-	// are none.
-	out.RawIntervalsShuffled = int64(joinMetrics.ShuffleRecords - out.RoutedBucketEntries)
+	// are none. (Remote runners have no in-process shuffle to account.)
+	if rout.Metrics != nil {
+		out.RawIntervalsShuffled = int64(rout.Metrics.ShuffleRecords - out.RoutedBucketEntries)
+	}
 	if shared != nil {
 		out.SharedFloor = shared.Load()
 	}
@@ -217,10 +197,10 @@ func Run(ctx context.Context, q *query.Query, srcs []Source, grans []stats.Grid,
 
 	// Merge phase (Figure 5e): a single-reducer Map-Reduce job combining
 	// local lists into the global top-k.
-	mergeJob := mapreduce.Job[reducerOut, int, []Result, []Result]{
+	mergeJob := mapreduce.Job[ReducerOutput, int, []Result, []Result]{
 		Name: "rtj-merge",
-		Map: func(in reducerOut, emit func(int, []Result)) error {
-			emit(0, in.results)
+		Map: func(in ReducerOutput, emit func(int, []Result)) error {
+			emit(0, in.Results)
 			return nil
 		},
 		Partition: mapreduce.IdentityPartition,
@@ -236,7 +216,7 @@ func Run(ctx context.Context, q *query.Query, srcs []Source, grans []stats.Grid,
 		},
 	}
 	mergeStart := time.Now()
-	mergeOut, mergeMetrics, err := mapreduce.Run(mergeJob, joinOut, mapreduce.Config{Mappers: cfg.Mappers, Reducers: 1})
+	mergeOut, mergeMetrics, err := mapreduce.Run(mergeJob, rout.Reducers, mapreduce.Config{Mappers: cfg.Mappers, Reducers: 1})
 	if err != nil {
 		return nil, fmt.Errorf("join: merge phase: %w", err)
 	}

@@ -1,0 +1,169 @@
+package join
+
+import (
+	"context"
+	"slices"
+	"sort"
+
+	"tkij/internal/distribute"
+	"tkij/internal/mapreduce"
+	"tkij/internal/query"
+	"tkij/internal/stats"
+	"tkij/internal/topbuckets"
+)
+
+// ReduceRequest is one query's reduce workload, handed to a Runner: the
+// query, its per-vertex sources and granulation grids, the selected
+// combinations, and the workload assignment mapping them onto reducers.
+// The request is runner-agnostic — the local runner evaluates it as one
+// in-process Map-Reduce job; the shard coordinator scatters it to
+// remote workers over the wire.
+type ReduceRequest struct {
+	Query *query.Query
+	// Mapping maps query vertices to collections (vertex v reads
+	// collection Mapping[v]); nil means the identity. The local runner
+	// never consults it — Srcs already embody the mapping — but remote
+	// runners need it to resolve which shard owns a vertex bucket.
+	Mapping []int
+	// Srcs serves vertex v's bucket data, pinned at the query's epoch.
+	Srcs []Source
+	// Grans is vertex v's granulation + observed endpoint extent.
+	Grans []stats.Grid
+	// Combos is Ω_k,S; Assign.ReducerCombos indexes into it.
+	Combos []topbuckets.Combo
+	Assign *distribute.Assignment
+	K      int
+	Config mapreduce.Config
+	Opts   LocalOptions
+	// Shared is the query's cross-reducer score floor; nil when pruning
+	// is disabled. Every reducer — local or remote — must consult and
+	// raise it (remote runners mirror it over their floor-broadcast
+	// channel).
+	Shared *SharedFloor
+}
+
+// ReducerOutput is one reducer's complete output.
+type ReducerOutput struct {
+	Reducer int
+	Results []Result
+	Stats   LocalStats
+}
+
+// RunnerOutput is a Runner's gathered result: every reducer's output
+// plus runner-specific accounting.
+type RunnerOutput struct {
+	Reducers []ReducerOutput
+	// Metrics is the join Map-Reduce job's accounting when the runner
+	// executed one (the local runner); nil for remote execution, whose
+	// shuffle happens over the wire instead.
+	Metrics *mapreduce.Metrics
+	// ShippedBuckets / ShippedRecords count bucket payloads a remote
+	// runner had to ship to workers that did not own them (zero for the
+	// local runner, where every bucket is resident).
+	ShippedBuckets int
+	ShippedRecords float64
+	// FloorFrames counts floor-broadcast frames exchanged with workers
+	// for this query (zero for the local runner, whose reducers share
+	// the floor through memory).
+	FloorFrames int64
+}
+
+// Runner executes a query's reduce workload. The local implementation
+// runs every reducer in-process; internal/shard's coordinator scatters
+// reducers to shard workers and gathers their outputs. Run's merge
+// phase is runner-independent, so any Runner that returns each
+// reducer's exact local top-k yields byte-identical final results.
+type Runner interface {
+	RunReducers(ctx context.Context, req *ReduceRequest) (*RunnerOutput, error)
+}
+
+// localRunner is the default Runner: the in-process join Map-Reduce job
+// of Figure 5 (c)-(d), shuffling bucket references to reduce tasks that
+// each evaluate their combination share against the resident store.
+type localRunner struct{}
+
+func (localRunner) RunReducers(ctx context.Context, req *ReduceRequest) (*RunnerOutput, error) {
+	_ = ctx // the in-process job is not interrupted mid-flight; Run checks between phases
+	assign := req.Assign
+	cfg := req.Config
+	cfg.Reducers = assign.Reducers
+
+	// Per-reducer combination lists, in the assignment's order.
+	reducerCombos := make([][]topbuckets.Combo, assign.Reducers)
+	for rj, idxs := range assign.ReducerCombos {
+		for _, ci := range idxs {
+			reducerCombos[rj] = append(reducerCombos[rj], req.Combos[ci])
+		}
+	}
+
+	// One input per routed bucket, in deterministic key order. Buckets
+	// outside the assignment (pruned by TopBuckets) are never routed —
+	// the same I/O saving as before, now measured in references.
+	inputs := make([]bucketRoute, 0, len(assign.BucketReducers))
+	for _, key := range sortedBucketKeys(assign.BucketReducers) {
+		inputs = append(inputs, bucketRoute{
+			key:      key,
+			count:    len(req.Srcs[key.Col].BucketItems(key.StartG, key.EndG)),
+			reducers: assign.BucketReducers[key],
+		})
+	}
+
+	plan := newPlan(req.Query)
+	if req.Opts.Share != nil {
+		plan.computeEdgeSigs()
+	}
+	joinJob := mapreduce.Job[bucketRoute, int, routedRef, ReducerOutput]{
+		Name: "rtj-join",
+		Map: func(in bucketRoute, emit func(int, routedRef)) error {
+			for _, rj := range in.reducers {
+				emit(rj, routedRef{count: in.count})
+			}
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition,
+		Reduce: func(rj int, refs []routedRef, emit func(ReducerOutput)) error {
+			lj := newLocalJoiner(plan, req.K, req.Opts, req.Srcs, req.Grans, req.Shared)
+			results := lj.Run(reducerCombos[rj])
+			lj.stats.Reducer = rj
+			lj.stats.BucketRefsRouted = len(refs)
+			for _, ref := range refs {
+				lj.stats.RoutedIntervals += float64(ref.count)
+			}
+			emit(ReducerOutput{Reducer: rj, Results: results, Stats: lj.stats})
+			return nil
+		},
+	}
+	out, metrics, err := mapreduce.Run(joinJob, inputs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Reducer-index order, the same order every runner hands the merge:
+	// the merge's top-k admits the first arrival among equal-score
+	// results, so the reducer list order is part of the byte-identity
+	// contract between the local and the sharded runner. The shuffle's
+	// first-seen order depends on which bucket routed to a reducer
+	// first — deterministic, but not index order.
+	sort.Slice(out, func(i, j int) bool { return out[i].Reducer < out[j].Reducer })
+	return &RunnerOutput{Reducers: out, Metrics: metrics}, nil
+}
+
+// sortedBucketKeys returns an assignment's routed bucket keys in
+// deterministic (col, startG, endG) order — the snapshot section order,
+// shared by the local runner's shuffle inputs and the shard
+// coordinator's shipping plans.
+func sortedBucketKeys(m map[stats.BucketKey][]int) []stats.BucketKey {
+	keys := make([]stats.BucketKey, 0, len(m))
+	for key := range m {
+		keys = append(keys, key)
+	}
+	slices.SortFunc(keys, func(a, b stats.BucketKey) int {
+		if a.Col != b.Col {
+			return a.Col - b.Col
+		}
+		if a.StartG != b.StartG {
+			return a.StartG - b.StartG
+		}
+		return a.EndG - b.EndG
+	})
+	return keys
+}

@@ -19,8 +19,18 @@ import (
 //
 // The zero value is a floor of 0 (prune nothing); all methods are safe
 // for concurrent use.
+//
+// Raises are observable as a stream: Subscribe returns a coalescing
+// signal channel notified after every successful Raise, which is what
+// the shard coordinator's floor broadcaster and each worker's uplink
+// sender select on. The subscription carries no value — a woken
+// subscriber reads Load(), so bursts of raises collapse into one wakeup
+// and a slow subscriber never blocks a reducer mid-probe.
 type SharedFloor struct {
 	bits atomic.Uint64
+	// subs is the immutable subscriber list, copy-on-write so Raise's
+	// hot path is one pointer load when nobody listens.
+	subs atomic.Pointer[[]chan struct{}]
 }
 
 // NewSharedFloor returns a floor seeded at v (negative seeds clamp to 0).
@@ -37,7 +47,10 @@ func (s *SharedFloor) Load() float64 {
 
 // Raise lifts the floor to v if v is higher. NaN and non-positive
 // values are ignored, so the floor never regresses and never poisons
-// comparisons.
+// comparisons. A raise that actually lifts the floor signals every
+// subscriber; a no-op raise (already at or above v) signals nobody, so
+// duplicate floor broadcasts coming back over the wire terminate
+// instead of echoing forever.
 func (s *SharedFloor) Raise(v float64) {
 	if !(v > 0) {
 		return
@@ -48,7 +61,62 @@ func (s *SharedFloor) Raise(v float64) {
 			return
 		}
 		if s.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			s.notify()
 			return
+		}
+	}
+}
+
+// Subscribe registers and returns a coalescing raise-notification
+// channel (capacity 1): after each effective Raise the channel holds a
+// signal; the subscriber reads Load() for the current floor. Release it
+// with Unsubscribe.
+func (s *SharedFloor) Subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	for {
+		old := s.subs.Load()
+		var list []chan struct{}
+		if old != nil {
+			list = append(list, *old...)
+		}
+		list = append(list, ch)
+		if s.subs.CompareAndSwap(old, &list) {
+			return ch
+		}
+	}
+}
+
+// Unsubscribe removes a channel returned by Subscribe. Signals already
+// queued on it are left for the caller to drain (or garbage-collect).
+func (s *SharedFloor) Unsubscribe(ch chan struct{}) {
+	for {
+		old := s.subs.Load()
+		if old == nil {
+			return
+		}
+		list := make([]chan struct{}, 0, len(*old))
+		for _, c := range *old {
+			if c != ch {
+				list = append(list, c)
+			}
+		}
+		if s.subs.CompareAndSwap(old, &list) {
+			return
+		}
+	}
+}
+
+// notify wakes every subscriber without blocking: a subscriber whose
+// signal is already pending coalesces this raise into it.
+func (s *SharedFloor) notify() {
+	subs := s.subs.Load()
+	if subs == nil {
+		return
+	}
+	for _, ch := range *subs {
+		select {
+		case ch <- struct{}{}:
+		default:
 		}
 	}
 }

@@ -75,16 +75,21 @@ func (t *TopK) Threshold() float64 {
 	return t.items[0].Score
 }
 
-// Add offers a result; it is retained if the collector is not full or if
-// it beats the current threshold. It reports whether the result was
-// retained — a retention with Full() true means Threshold() may have
-// risen, the signal the join publishes to the shared floor.
+// Add offers a result; it is retained if the collector is not full or
+// if it orders before the current worst under the deterministic total
+// order (score descending, tuple IDs as tie-break). Breaking ties by
+// the total order — not first-come — makes the retained set independent
+// of arrival order, so local and distributed executions that enumerate
+// equal-scoring candidates in different orders still converge on the
+// identical top-k. It reports whether the result was retained — a
+// retention with Full() true means Threshold() may have risen, the
+// signal the join publishes to the shared floor.
 func (t *TopK) Add(r Result) bool {
 	if !t.Full() {
 		heap.Push(&t.items, r)
 		return true
 	}
-	if r.Score > t.items[0].Score {
+	if less(r, t.items[0]) {
 		t.items[0] = r
 		heap.Fix(&t.items, 0)
 		return true

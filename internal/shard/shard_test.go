@@ -1,0 +1,511 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"tkij/internal/distribute"
+	"tkij/internal/interval"
+	"tkij/internal/join"
+	"tkij/internal/mapreduce"
+	"tkij/internal/query"
+	"tkij/internal/scoring"
+	"tkij/internal/stats"
+	"tkij/internal/store"
+	"tkij/internal/topbuckets"
+)
+
+func synthCols(n, perCol int, seed int64) []*interval.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]*interval.Collection, n)
+	for i := range cols {
+		c := &interval.Collection{Name: "C"}
+		for j := 0; j < perCol; j++ {
+			s := rng.Int63n(2000)
+			c.Add(interval.Interval{ID: int64(i*1000000 + j), Start: s, End: s + 1 + rng.Int63n(80)})
+		}
+		cols[i] = c
+	}
+	return cols
+}
+
+// pipelineEnv is everything up to the join phase: the store, per-vertex
+// sources/grids, selected combinations and the DTB assignment.
+type pipelineEnv struct {
+	q      *query.Query
+	st     *store.Store
+	srcs   []join.Source
+	grans  []stats.Grid
+	combos []topbuckets.Combo
+	assign *distribute.Assignment
+	k      int
+}
+
+func buildPipeline(t *testing.T, q *query.Query, cols []*interval.Collection, g, k, reducers int) *pipelineEnv {
+	t.Helper()
+	ms, _, err := stats.Collect(cols, g, mapreduce.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := topbuckets.Run(q, ms, k, topbuckets.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := distribute.Assign(distribute.AlgDTB, tb.Selected, reducers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Build(cols, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]join.Source, len(cols))
+	grans := make([]stats.Grid, len(cols))
+	for v := range cols {
+		srcs[v] = st.Col(v)
+		grans[v] = ms[v].Grid()
+	}
+	return &pipelineEnv{q: q, st: st, srcs: srcs, grans: grans,
+		combos: tb.Selected, assign: assign, k: k}
+}
+
+func (env *pipelineEnv) run(t *testing.T, runner join.Runner, opts join.LocalOptions) *join.Output {
+	t.Helper()
+	out, err := join.RunWith(context.Background(), env.q, env.srcs, env.grans,
+		env.combos, env.assign, env.k, mapreduce.Config{Mappers: 3}, opts, nil, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// request builds the ReduceRequest RunWith would issue — used by fault
+// tests that call Cluster.RunReducers directly.
+func (env *pipelineEnv) request(opts join.LocalOptions) *join.ReduceRequest {
+	var shared *join.SharedFloor
+	if !opts.DisablePruning {
+		shared = join.NewSharedFloor(opts.Floor)
+	}
+	return &join.ReduceRequest{
+		Query: env.q, Srcs: env.srcs, Grans: env.grans, Combos: env.combos,
+		Assign: env.assign, K: env.k, Config: mapreduce.Config{}, Opts: opts, Shared: shared,
+	}
+}
+
+func testQuery() *query.Query {
+	env := query.Env{Params: scoring.P1, Avg: 40}
+	return query.Qbb(env)
+}
+
+// quiesce waits for every worker's in-flight executors, then asserts
+// zero live views — the pin-release invariant for remote execution.
+func assertNoLiveViews(t *testing.T, workers []*Worker) {
+	t.Helper()
+	for i, w := range workers {
+		w.Quiesce()
+		if st := w.Store(); st != nil {
+			if vs := st.ViewStats(); vs.Live != 0 {
+				t.Fatalf("worker %d holds %d live views after quiesce", i, vs.Live)
+			}
+		}
+	}
+}
+
+// Distributed execution over N real (in-process, full wire protocol)
+// workers must return results identical to the local runner — same
+// scores, same tuples, same order — for every shard count, with and
+// without floor broadcast.
+func TestClusterEquivalence(t *testing.T) {
+	q := testQuery()
+	for seed := int64(1); seed <= 2; seed++ {
+		cols := synthCols(3, 120, seed)
+		env := buildPipeline(t, q, cols, 6, 10, 4)
+		local := env.run(t, nil, join.LocalOptions{})
+		for _, n := range []int{1, 2, 3, 5} {
+			for _, noFloor := range []bool{false, true} {
+				c, workers, err := InProcess(n, ClusterOptions{NoFloorBroadcast: noFloor})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.LoadStore(env.st); err != nil {
+					t.Fatal(err)
+				}
+				remote := env.run(t, c, join.LocalOptions{})
+				if !reflect.DeepEqual(remote.Results, local.Results) {
+					t.Fatalf("seed %d, %d shards (noFloor=%v): remote results differ from local\nremote: %v\nlocal:  %v",
+						seed, n, noFloor, remote.Results, local.Results)
+				}
+				if n > 1 && remote.ShippedBuckets == 0 && len(env.assign.BucketReducers) > 1 {
+					// With round-robin reducers over a partitioned store,
+					// some bucket is essentially always foreign.
+					t.Logf("seed %d, %d shards: nothing shipped (unusual but not wrong)", seed, n)
+				}
+				assertNoLiveViews(t, workers)
+				c.Close()
+			}
+		}
+	}
+}
+
+// Appends must keep replicas in lockstep: after coordinator and cluster
+// both apply a batch, a re-planned query over the grown store matches
+// local execution, and the worker epochs equal the coordinator delta.
+func TestClusterAppendLockstep(t *testing.T) {
+	q := testQuery()
+	cols := synthCols(3, 100, 3)
+	env := buildPipeline(t, q, cols, 6, 8, 4)
+	c, workers, err := InProcess(3, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.LoadStore(env.st); err != nil {
+		t.Fatal(err)
+	}
+	base := env.st.Epoch()
+
+	// Two interleaved append epochs, queried after each.
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 2; round++ {
+		var batch []interval.Interval
+		for j := 0; j < 40; j++ {
+			s := rng.Int63n(2000)
+			batch = append(batch, interval.Interval{ID: int64(10000 + round*1000 + j), Start: s, End: s + 1 + rng.Int63n(80)})
+		}
+		if _, err := env.st.Append(0, batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Append(0, batch); err != nil {
+			t.Fatal(err)
+		}
+		for _, iv := range batch {
+			cols[0].Add(iv)
+		}
+		// Re-plan against the grown dataset (fresh matrices → fresh
+		// combos/assignment), reusing the same resident store.
+		grown := buildPipelineFromStore(t, q, cols, env.st, 6, 8, 4)
+		local := grown.run(t, nil, join.LocalOptions{})
+		remote := grown.run(t, c, join.LocalOptions{})
+		if !reflect.DeepEqual(remote.Results, local.Results) {
+			t.Fatalf("round %d: remote results differ from local", round)
+		}
+		for i, w := range workers {
+			w.Quiesce()
+			if got, want := w.Store().Epoch(), env.st.Epoch()-base; got != want {
+				t.Fatalf("round %d: worker %d at epoch %d, want %d", round, i, got, want)
+			}
+		}
+	}
+	assertNoLiveViews(t, workers)
+}
+
+// buildPipelineFromStore re-plans over fresh statistics but keeps the
+// existing (already loaded and appended) store.
+func buildPipelineFromStore(t *testing.T, q *query.Query, cols []*interval.Collection,
+	st *store.Store, g, k, reducers int) *pipelineEnv {
+	t.Helper()
+	ms, _, err := stats.Collect(cols, g, mapreduce.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := topbuckets.Run(q, ms, k, topbuckets.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := distribute.Assign(distribute.AlgDTB, tb.Selected, reducers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]join.Source, len(cols))
+	grans := make([]stats.Grid, len(cols))
+	for v := range cols {
+		srcs[v] = st.Col(v)
+		grans[v] = ms[v].Grid()
+	}
+	return &pipelineEnv{q: q, st: st, srcs: srcs, grans: grans,
+		combos: tb.Selected, assign: assign, k: k}
+}
+
+// The full protocol over real TCP loopback: Dial against listener-backed
+// workers, same results as local.
+func TestClusterTCP(t *testing.T) {
+	q := testQuery()
+	cols := synthCols(3, 80, 5)
+	env := buildPipeline(t, q, cols, 5, 6, 4)
+	local := env.run(t, nil, join.LocalOptions{})
+
+	const n = 2
+	addrs := make([]string, n)
+	workers := make([]*Worker, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		addrs[i] = ln.Addr().String()
+		w := NewWorker()
+		workers[i] = w
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = w.Serve(conn)
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, addrs, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.LoadStore(env.st); err != nil {
+		t.Fatal(err)
+	}
+	remote := env.run(t, c, join.LocalOptions{})
+	if !reflect.DeepEqual(remote.Results, local.Results) {
+		t.Fatalf("TCP results differ from local")
+	}
+	assertNoLiveViews(t, workers)
+}
+
+// --- fault injection ------------------------------------------------
+
+// fakeWorker drives the worker side of a link from the test: handle is
+// called with every decoded frame and may write responses or close the
+// connection. Reading continues until the conn dies.
+func fakeWorker(conn io.ReadWriteCloser, handle func(Frame, *frameWriter) bool) {
+	fw := &frameWriter{w: conn}
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			return
+		}
+		if !handle(f, fw) {
+			_ = conn.Close()
+			return
+		}
+	}
+}
+
+// faultCluster builds a 2-link cluster: link 0 is a healthy real
+// worker, link 1 is script-driven by the test.
+func faultCluster(t *testing.T, opts ClusterOptions, handle func(Frame, *frameWriter) bool) (*Cluster, *Worker) {
+	t.Helper()
+	realEnd, coordEnd0 := net.Pipe()
+	w := NewWorker()
+	go func() { _ = w.Serve(realEnd) }()
+	fakeEnd, coordEnd1 := net.Pipe()
+	go fakeWorker(fakeEnd, handle)
+	return NewCluster([]io.ReadWriteCloser{coordEnd0, coordEnd1}, opts), w
+}
+
+// A worker crashing mid-scatter (link closes after it receives the
+// query) fails the query with ErrWorkerLost and no partial results;
+// the surviving worker's pins are all released.
+func TestFaultWorkerCrash(t *testing.T) {
+	env := buildPipeline(t, testQuery(), synthCols(3, 80, 7), 5, 6, 4)
+	c, w := faultCluster(t, ClusterOptions{}, func(f Frame, fw *frameWriter) bool {
+		_, isQuery := f.(*QueryFrame)
+		return !isQuery // die on the scatter frame
+	})
+	defer c.Close()
+	if err := c.LoadStore(env.st); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.RunReducers(context.Background(), env.request(join.LocalOptions{}))
+	if out != nil || !errors.Is(err, ErrWorkerLost) {
+		t.Fatalf("RunReducers = (%v, %v), want (nil, ErrWorkerLost)", out, err)
+	}
+	assertNoLiveViews(t, []*Worker{w})
+}
+
+// A hung worker (accepts the query, never answers) is bounded by the
+// caller's deadline; the error wraps the context error so the engine
+// translates it to ErrCanceled.
+func TestFaultWorkerHang(t *testing.T) {
+	env := buildPipeline(t, testQuery(), synthCols(3, 80, 8), 5, 6, 4)
+	c, w := faultCluster(t, ClusterOptions{}, func(Frame, *frameWriter) bool {
+		return true // swallow everything, answer nothing
+	})
+	defer c.Close()
+	if err := c.LoadStore(env.st); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	out, err := c.RunReducers(ctx, env.request(join.LocalOptions{}))
+	if out != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunReducers = (%v, %v), want deadline exceeded", out, err)
+	}
+	assertNoLiveViews(t, []*Worker{w})
+}
+
+// A torn frame (garbage bytes, then the link dies) is a protocol
+// violation, not a lost worker.
+func TestFaultTornFrame(t *testing.T) {
+	env := buildPipeline(t, testQuery(), synthCols(3, 80, 9), 5, 6, 4)
+	c, w := faultCluster(t, ClusterOptions{}, func(f Frame, fw *frameWriter) bool {
+		if _, isQuery := f.(*QueryFrame); isQuery {
+			// A plausible length prefix followed by a truncated payload.
+			hdr := interval.AppendU64(nil, 64)
+			hdr = interval.AppendU64(hdr, kindResult)
+			fw.mu.Lock()
+			_, _ = fw.w.Write(hdr)
+			fw.mu.Unlock()
+			return false // close mid-frame
+		}
+		return true
+	})
+	defer c.Close()
+	if err := c.LoadStore(env.st); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.RunReducers(context.Background(), env.request(join.LocalOptions{}))
+	if out != nil || !errors.Is(err, ErrProtocol) {
+		t.Fatalf("RunReducers = (%v, %v), want (nil, ErrProtocol)", out, err)
+	}
+	assertNoLiveViews(t, []*Worker{w})
+}
+
+// A floor broadcast for a query the worker never admitted is a replay:
+// the worker rejects it with a distinct error and the in-flight query
+// fails with ErrFloorReplay.
+func TestFaultFloorReplay(t *testing.T) {
+	env := buildPipeline(t, testQuery(), synthCols(3, 80, 10), 5, 6, 4)
+	c, w := faultCluster(t, ClusterOptions{}, func(f Frame, fw *frameWriter) bool {
+		if _, isQuery := f.(*QueryFrame); isQuery {
+			// Claim a floor for a query id that was never scattered.
+			_ = fw.send(&ErrorFrame{QueryID: 1 << 40, Code: CodeFloorReplay,
+				Msg: "floor for query 1099511627776, which was never admitted"})
+		}
+		return true
+	})
+	defer c.Close()
+	if err := c.LoadStore(env.st); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.RunReducers(context.Background(), env.request(join.LocalOptions{}))
+	if out != nil || !errors.Is(err, ErrFloorReplay) {
+		t.Fatalf("RunReducers = (%v, %v), want (nil, ErrFloorReplay)", out, err)
+	}
+	assertNoLiveViews(t, []*Worker{w})
+}
+
+// The worker side of the replay check: a real worker receiving a floor
+// for an unknown query id answers CodeFloorReplay and kills the link.
+func TestWorkerRejectsFloorReplay(t *testing.T) {
+	workerEnd, testEnd := net.Pipe()
+	w := NewWorker()
+	served := make(chan error, 1)
+	go func() { served <- w.Serve(workerEnd) }()
+
+	send := func(f Frame) {
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := testEnd.Write(b); err != nil {
+			t.Error(err)
+		}
+	}
+	gran, _ := stats.NewGranulation(0, 100, 4)
+	send(&LoadFrame{ShardID: 0, Shards: 1, Cols: []store.PartitionCol{{Col: 0, Gran: gran}}})
+	send(&FloorFrame{QueryID: 7, Floor: 0.5})
+
+	f, err := ReadFrame(testEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, ok := f.(*ErrorFrame)
+	if !ok || ef.Code != CodeFloorReplay || ef.QueryID != 7 {
+		t.Fatalf("worker answered %#v, want CodeFloorReplay for query 7", f)
+	}
+	if err := <-served; !errors.Is(err, ErrFloorReplay) {
+		t.Fatalf("Serve returned %v, want ErrFloorReplay", err)
+	}
+}
+
+// A worker whose replica lands on the wrong epoch after an append
+// reports CodeEpoch and the cluster poisons itself with
+// ErrEpochMismatch.
+func TestWorkerAppendEpochMismatch(t *testing.T) {
+	workerEnd, testEnd := net.Pipe()
+	w := NewWorker()
+	served := make(chan error, 1)
+	go func() { served <- w.Serve(workerEnd) }()
+
+	send := func(f Frame) {
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := testEnd.Write(b); err != nil {
+			t.Error(err)
+		}
+	}
+	gran, _ := stats.NewGranulation(0, 100, 4)
+	send(&LoadFrame{ShardID: 0, Shards: 1, Cols: []store.PartitionCol{{Col: 0, Gran: gran}}})
+	// Declare epoch 5; the replica will land on 1.
+	send(&AppendFrame{Epoch: 5, Col: 0, Items: []interval.Interval{{ID: 1, Start: 3, End: 9}}})
+
+	f, err := ReadFrame(testEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, ok := f.(*ErrorFrame)
+	if !ok || ef.Code != CodeEpoch {
+		t.Fatalf("worker answered %#v, want CodeEpoch", f)
+	}
+	if err := <-served; !errors.Is(err, ErrEpochMismatch) {
+		t.Fatalf("Serve returned %v, want ErrEpochMismatch", err)
+	}
+}
+
+// The manifest is deterministic and total: layout buckets round-robin,
+// unknown buckets fall through to a stable hash, and both stay within
+// range.
+func TestManifestOwnership(t *testing.T) {
+	layout := []stats.BucketKey{
+		{Col: 0, StartG: 0, EndG: 0}, {Col: 0, StartG: 0, EndG: 1},
+		{Col: 1, StartG: 1, EndG: 2}, {Col: 1, StartG: 2, EndG: 3},
+		{Col: 1, StartG: 3, EndG: 3},
+	}
+	m := NewManifest(layout, 3)
+	n2 := NewManifest(layout, 3)
+	for i, k := range layout {
+		if got, want := m.Owner(k), i%3; got != want {
+			t.Fatalf("Owner(%v) = %d, want %d", k, got, want)
+		}
+		if m.Owner(k) != n2.Owner(k) {
+			t.Fatalf("manifest not deterministic at %v", k)
+		}
+	}
+	if m.Buckets(0) != 2 || m.Buckets(1) != 2 || m.Buckets(2) != 1 {
+		t.Fatalf("bucket counts = %d/%d/%d", m.Buckets(0), m.Buckets(1), m.Buckets(2))
+	}
+	// Fallback: stable and in range.
+	for col := 0; col < 5; col++ {
+		for sg := 0; sg < 5; sg++ {
+			k := stats.BucketKey{Col: col, StartG: sg, EndG: sg + 7}
+			o := m.Owner(k)
+			if o < 0 || o >= 3 {
+				t.Fatalf("fallback owner %d out of range", o)
+			}
+			if o != n2.Owner(k) {
+				t.Fatalf("fallback not deterministic at %v", k)
+			}
+		}
+	}
+}

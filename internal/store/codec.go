@@ -37,6 +37,23 @@ func sortedKeys(buckets map[gkey]*bucket) []gkey {
 	return keys
 }
 
+// SectionLayout returns every resident bucket's key at the latest
+// epoch, collection-major with each collection's buckets in the codec's
+// deterministic (startG, endG) section order — exactly the order
+// AppendColStore lays bucket payloads out in a snapshot. The shard
+// manifest is derived from this layout (round-robin over sections), so
+// a shard partition can be recomputed from either a live store or its
+// snapshot file and land on identical ownership.
+func (s *Store) SectionLayout() []stats.BucketKey {
+	var layout []stats.BucketKey
+	for i, cs := range s.cols {
+		for _, k := range sortedKeys(cs.cur.Load().buckets) {
+			layout = append(layout, stats.BucketKey{Col: i, StartG: k.startG, EndG: k.endG})
+		}
+	}
+	return layout
+}
+
 // AppendColStore appends one collection's partition as of the latest
 // epoch: collection index, granulation, bucket count, the bucket
 // directory, then each bucket's contiguous interval payload in

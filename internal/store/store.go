@@ -282,8 +282,24 @@ func (s *Store) SetCompactLimit(limit int) {
 // case the bucket is resealed and its tree rebuilt lazily on next use.
 // In-flight readers of earlier epochs (pinned Views) are unaffected.
 // Safe for concurrent use with all read paths; concurrent Appends
-// serialize.
+// serialize. An empty batch publishes nothing and returns the current
+// epoch unchanged.
 func (s *Store) Append(col int, ivs []interval.Interval) (int64, error) {
+	return s.append(col, ivs, false)
+}
+
+// AppendEpoch is Append for shard replicas: it always publishes a new
+// epoch, even for an empty batch. A shard worker receives only its
+// owned slice of each coordinator batch — often empty — but its epoch
+// sequence must advance one-for-one with the coordinator's, or query
+// frames pinned at coordinator epoch E would find the replica at some
+// E' < E and every subsequent epoch check would be off by the number of
+// slices that happened to miss this shard.
+func (s *Store) AppendEpoch(col int, ivs []interval.Interval) (int64, error) {
+	return s.append(col, ivs, true)
+}
+
+func (s *Store) append(col int, ivs []interval.Interval, forceEpoch bool) (int64, error) {
 	if col < 0 || col >= len(s.cols) {
 		return 0, fmt.Errorf("store: append to collection %d of %d", col, len(s.cols))
 	}
@@ -295,6 +311,9 @@ func (s *Store) Append(col int, ivs []interval.Interval) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(ivs) == 0 {
+		if forceEpoch {
+			s.epoch++
+		}
 		return s.epoch, nil
 	}
 	cs := s.cols[col]
