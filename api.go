@@ -72,6 +72,7 @@ import (
 	"tkij/internal/query"
 	"tkij/internal/scoring"
 	"tkij/internal/snapshot"
+	"tkij/internal/standing"
 	"tkij/internal/topbuckets"
 )
 
@@ -274,6 +275,41 @@ var (
 func NewServer(engine *Engine, opts ServerOptions) *Server {
 	return admission.New(engine, opts)
 }
+
+// Standing queries. Server.Subscribe registers a continuous top-k
+// subscription: the query executes once at the current epoch and the
+// returned Subscription's Deltas channel carries that initial snapshot
+// (a resync delta) followed by one incremental delta per ingest push —
+// membership changes computed by re-probing only the bucket
+// combinations each append affected, never by re-executing the full
+// query unless revalidation cannot certify the result. A consumer
+// folding the deltas through SubscriptionTopK.Apply materializes, after
+// every delta, exactly the result list a fresh Execute at that epoch
+// returns.
+type (
+	// Subscription is one registered standing query; receive on
+	// Deltas, stop with Close, inspect the terminal cause with Err.
+	Subscription = standing.Subscription
+	// SubscriptionDelta is one push: a full-state resync or an
+	// incremental membership change (Entered/Left) with the new epoch
+	// and k-th score floor.
+	SubscriptionDelta = standing.Delta
+	// SubscribeOptions tunes one subscription: vertex-to-collection
+	// mapping and delta-queue depth before slow-subscriber coalescing.
+	SubscribeOptions = standing.SubOptions
+	// SubscriptionTopK materializes a subscription's result list
+	// client-side by applying deltas in order; it validates each delta
+	// against the subscription contract and fails loudly on malformed
+	// or reordered input.
+	SubscriptionTopK = standing.TopK
+	// StandingStats counts the standing layer's work: pushes,
+	// promotions, resyncs, probed/pruned combinations, dropped deltas.
+	StandingStats = standing.Stats
+)
+
+// NewSubscriptionTopK returns an empty client-side materializer for a
+// subscription serving k results.
+func NewSubscriptionTopK(k int) *SubscriptionTopK { return standing.NewTopK(k) }
 
 // NewEngine validates the collections and returns an engine.
 func NewEngine(cols []*Collection, opts Options) (*Engine, error) {

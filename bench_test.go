@@ -267,6 +267,14 @@ func BenchmarkIngest(b *testing.B) {
 	runExperiment(b, experiments.Ingest)
 }
 
+// BenchmarkStanding wraps the standing-subscription experiment:
+// push-per-append latency vs a sequential re-execute across append
+// localities, with the affected/probed combination counts that drive
+// the gap.
+func BenchmarkStanding(b *testing.B) {
+	runExperiment(b, experiments.Standing)
+}
+
 // BenchmarkAppendThenQuery measures the streaming serving loop — one
 // append batch, one query on the new epoch — and proves the append
 // economics on the counters: sealed (base) R-trees are rebuilt only for

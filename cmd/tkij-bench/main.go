@@ -13,10 +13,12 @@
 //	tkij-bench -exp plancache      # plan cache: hit/revalidate/miss latency
 //	tkij-bench -exp admission      # admission batching: QPS vs unbatched, bounded epochs
 //	tkij-bench -exp mmap           # zero-copy mmap restore vs heap restore
+//	tkij-bench -exp standing       # standing top-k subscriptions vs re-execute
 //	tkij-bench -exp mmap -json     # same, as a JSON array of tables
 //
 // Experiments: stats fig7 fig8 fig9 fig10 fig11 sec4.2.6 fig12 fig13
-// fig14 ablation serving restart ingest plancache admission mmap all.
+// fig14 ablation serving restart ingest plancache admission mmap shards
+// standing all.
 // The serving, restart, ingest, plancache, admission and mmap
 // experiments go beyond the paper: serving measures the dataset-resident
 // bucket store's repeated-query and concurrent-query paths on one warm
@@ -33,7 +35,10 @@
 // (restore wall time vs dataset size against the heap decoder,
 // allocations on the warm probe and query paths, and latency
 // percentiles under admission load — BENCH_mmap.json holds a committed
-// run).
+// run); standing measures continuous top-k subscriptions (per-append
+// push latency vs the sequential re-execute a non-standing client pays,
+// across append localities, with the affected/probed bucket-combination
+// counts that explain the gap).
 //
 // -json emits the tables as a JSON array instead of aligned text, for
 // committing benchmark runs or diffing them across changes.
@@ -54,7 +59,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig7..fig14, stats, sec4.2.6, ablation, serving, restart, ingest, plancache, admission, mmap, all)")
+		exp      = flag.String("exp", "all", "experiment id (fig7..fig14, stats, sec4.2.6, ablation, serving, restart, ingest, plancache, admission, mmap, shards, standing, all)")
 		scale    = flag.Float64("scale", 1, "dataset scale multiplier")
 		reducers = flag.Int("reducers", 24, "reduce tasks")
 		quiet    = flag.Bool("q", false, "suppress progress logging")

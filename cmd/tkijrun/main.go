@@ -65,6 +65,15 @@
 //	tkij-worker -listen :7071 &  tkij-worker -listen :7072 &
 //	tkijrun -query Qo,m -shard-addrs localhost:7071,localhost:7072 C1.tsv C2.tsv C3.tsv
 //	tkijrun -query Qo,m -shards 2 -no-floor-broadcast C1.tsv C2.tsv C3.tsv  # ablation
+//
+// Standing queries: -subscribe registers the query as a continuous
+// top-k subscription, splits the -append batch into -subscribe-chunks
+// ingest batches, and after every append verifies the subscriber's
+// materialized state (initial snapshot + pushed deltas) against a fresh
+// sequential re-execute at the same epoch — the push-equals-fresh-
+// execute equivalence gate, runnable from CI:
+//
+//	tkijrun -query Qo,m -subscribe -append extra.tsv -subscribe-chunks 8 -json C1.tsv C2.tsv C3.tsv
 package main
 
 import (
@@ -130,6 +139,9 @@ type jsonReport struct {
 	Runs        []jsonRun    `json:"runs"`
 	Results     []jsonResult `json:"results"`
 	NumReducers int          `json:"reducers"`
+	// Standing is present in -subscribe mode: the per-append push trace
+	// and the standing layer's work counters.
+	Standing *jsonStanding `json:"standing,omitempty"`
 }
 
 type jsonResult struct {
@@ -139,6 +151,40 @@ type jsonResult struct {
 		Start int64 `json:"start"`
 		End   int64 `json:"end"`
 	} `json:"tuple"`
+}
+
+// jsonPush is the machine-readable report of one ingest append observed
+// through a standing subscription (-subscribe mode).
+type jsonPush struct {
+	Append    int   `json:"append"`
+	Epoch     int64 `json:"epoch"`
+	Intervals int   `json:"intervals"`
+	// Deltas drained for this epoch, and how they decomposed.
+	Deltas  int     `json:"deltas"`
+	Resyncs int     `json:"resyncs"`
+	Entered int     `json:"entered"`
+	Left    int     `json:"left"`
+	Floor   float64 `json:"floor"`
+	// FreshMillis is the cost of the sequential re-execute the push was
+	// verified against — the work a non-standing client would redo.
+	FreshMillis float64 `json:"fresh_ms"`
+	// Verified records that the materialized push state matched the
+	// fresh execute (the process exits non-zero otherwise).
+	Verified bool `json:"verified"`
+}
+
+// jsonStanding summarizes a -subscribe session: per-append pushes plus
+// the standing layer's work counters.
+type jsonStanding struct {
+	Chunks         int        `json:"chunks"`
+	Pushes         int64      `json:"pushes"`
+	Promotions     int64      `json:"promotions"`
+	Resyncs        int64      `json:"resyncs"`
+	AffectedCombos int64      `json:"affected_combos"`
+	ProbedCombos   int64      `json:"probed_combos"`
+	PrunedCombos   int64      `json:"pruned_combos"`
+	DroppedDeltas  int64      `json:"dropped_deltas"`
+	Appends        []jsonPush `json:"appends"`
 }
 
 func main() {
@@ -165,6 +211,8 @@ func main() {
 		noFloorBc = flag.Bool("no-floor-broadcast", false, "with -shards: do not stream the rising score floor to workers (ablation; results are unchanged, remote pruning is lost)")
 		conc      = flag.Int("concurrency", 1, "submit N copies of the query concurrently per repeat round through the admission/batching layer (1 = direct execution)")
 		batchWin  = flag.Duration("batch-window", time.Millisecond, "admission batching window (with -concurrency > 1)")
+		subscribe = flag.Bool("subscribe", false, "standing-query mode: subscribe to the query, stream the -append batch chunk by chunk, and verify the pushed top-k against a fresh re-execute after every append")
+		subChunks = flag.Int("subscribe-chunks", 8, "with -subscribe: number of ingest batches the -append file is split into")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 		verbose   = flag.Bool("v", false, "print phase metrics")
 		top       = flag.Int("print", 10, "number of results to print")
@@ -270,6 +318,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *subscribe {
+		if batch == nil {
+			fatal(fmt.Errorf("-subscribe streams the -append batch; give it one"))
+		}
+		if *appendDlt {
+			fatal(fmt.Errorf("-append-delta is not supported with -subscribe"))
+		}
+		runSubscribe(engine, q, mapping, batch, subscribeConfig{
+			k: *k, appendCol: *appendCol, chunks: *subChunks, top: *top,
+			window: *batchWin, jsonOut: *jsonOut, verbose: *verbose,
+			reducers: *reducers,
+		})
+		return
+	}
+	if batch != nil {
 		epoch, err := engine.Append(*appendCol, batch.Items)
 		if err != nil {
 			fatal(err)
@@ -424,6 +488,195 @@ func main() {
 		}
 		fmt.Printf("  #%d score=%.4f tuple=%v\n", i+1, r.Score, r.Tuple)
 	}
+}
+
+// subscribeConfig carries the flag values -subscribe mode needs.
+type subscribeConfig struct {
+	k, appendCol, chunks, top, reducers int
+	window                              time.Duration
+	jsonOut, verbose                    bool
+}
+
+// runSubscribe is -subscribe mode: register the query as a standing
+// subscription, stream the batch chunk by chunk, and after every append
+// verify the subscriber-materialized top-k (initial snapshot + deltas
+// folded through SubscriptionTopK.Apply) against a fresh sequential
+// re-execute at the same epoch. Any divergence is fatal — this is the
+// push-equals-fresh-execute gate CI runs.
+func runSubscribe(engine *tkij.Engine, q *tkij.Query, mapping []int, batch *tkij.Collection, cfg subscribeConfig) {
+	server := tkij.NewServer(engine, tkij.ServerOptions{Window: cfg.window})
+	defer server.Close()
+	sub, err := server.Subscribe(context.Background(), q, cfg.k, tkij.SubscribeOptions{Mapping: mapping})
+	if err != nil {
+		fatal(err)
+	}
+	defer sub.Close()
+
+	tk := tkij.NewSubscriptionTopK(cfg.k)
+	lastFloor := -1.0 // floor carried by the last applied delta
+	// drain folds deltas into tk until it has caught up with epoch,
+	// returning what arrived for the report.
+	drain := func(epoch int64) (deltas, resyncs, entered, left int) {
+		for tk.Seq == 0 || tk.Epoch < epoch {
+			d, ok := <-sub.Deltas()
+			if !ok {
+				fatal(fmt.Errorf("subscription closed: %v", sub.Err()))
+			}
+			if err := tk.Apply(d); err != nil {
+				fatal(fmt.Errorf("delta seq %d failed to apply: %v", d.Seq, err))
+			}
+			deltas++
+			if d.Resync {
+				resyncs++
+			}
+			entered += len(d.Entered)
+			left += len(d.Left)
+			lastFloor = d.Floor
+		}
+		return
+	}
+	fresh := func() (*tkij.Report, time.Duration) {
+		start := time.Now()
+		rep, err := engine.ExecuteMapped(context.Background(), q, mapping)
+		if err != nil {
+			fatal(err)
+		}
+		return rep, time.Since(start)
+	}
+
+	jr := jsonReport{Query: q.Name, K: cfg.k, NumReducers: cfg.reducers,
+		PrepMillis: millis(engine.StatsDuration), Restored: engine.Restored()}
+	chunks := cfg.chunks
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > batch.Len() {
+		chunks = batch.Len()
+	}
+	st := jsonStanding{Chunks: chunks}
+
+	// Initial snapshot: the subscription's first delta must reproduce a
+	// fresh execute at the subscribe epoch.
+	drain(engine.Epoch())
+	initRep, _ := fresh()
+	if err := verifyPush(q, tk.Results, initRep.Results); err != nil {
+		fatal(fmt.Errorf("initial snapshot diverges from fresh execute: %v", err))
+	}
+
+	appended := 0
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*batch.Len()/chunks, (c+1)*batch.Len()/chunks
+		chunk := batch.Items[lo:hi]
+		epoch, err := engine.Append(cfg.appendCol, chunk)
+		if err != nil {
+			fatal(err)
+		}
+		appended += len(chunk)
+		deltas, resyncs, entered, left := drain(epoch)
+		rep, freshTime := fresh()
+		if err := verifyPush(q, tk.Results, rep.Results); err != nil {
+			fatal(fmt.Errorf("append %d (epoch %d): pushed state diverges from fresh execute: %v", c, epoch, err))
+		}
+		push := jsonPush{
+			Append: c, Epoch: epoch, Intervals: len(chunk),
+			Deltas: deltas, Resyncs: resyncs, Entered: entered, Left: left,
+			Floor: lastFloor, FreshMillis: millis(freshTime), Verified: true,
+		}
+		st.Appends = append(st.Appends, push)
+		if !cfg.jsonOut {
+			fmt.Printf("append %d: epoch %d (+%d intervals) — %d delta(s), %d entered, %d left, %d resync(s), floor %.4f, verified against fresh execute (%.1fms)\n",
+				c, epoch, len(chunk), deltas, entered, left, resyncs, lastFloor, push.FreshMillis)
+		}
+	}
+
+	stats := server.StandingStats()
+	st.Pushes, st.Promotions, st.Resyncs = stats.Pushes, stats.Promotions, stats.Resyncs
+	st.AffectedCombos, st.ProbedCombos, st.PrunedCombos = stats.AffectedCombos, stats.ProbedCombos, stats.PrunedCombos
+	st.DroppedDeltas = stats.DroppedDeltas
+	jr.Standing = &st
+	jr.Appended = appended
+	jr.Epoch = engine.Epoch()
+
+	if cfg.jsonOut {
+		for _, r := range tk.Results {
+			res := jsonResult{Score: r.Score}
+			for _, iv := range r.Tuple {
+				res.Tuple = append(res.Tuple, struct {
+					ID    int64 `json:"id"`
+					Start int64 `json:"start"`
+					End   int64 `json:"end"`
+				}{iv.ID, iv.Start, iv.End})
+			}
+			jr.Results = append(jr.Results, res)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("standing query %s: %d appends verified push-equals-fresh-execute (%d incremental pushes, %d promotions, %d resyncs)\n",
+		q.Name, chunks, stats.Pushes, stats.Promotions, stats.Resyncs)
+	if cfg.verbose {
+		fmt.Printf("  combos:  %d affected, %d probed, %d pruned below the floor\n",
+			stats.AffectedCombos, stats.ProbedCombos, stats.PrunedCombos)
+		fmt.Printf("  deltas:  %d dropped to slow-subscriber coalescing\n", stats.DroppedDeltas)
+	}
+	for i, r := range tk.Results {
+		if i >= cfg.top {
+			break
+		}
+		fmt.Printf("  #%d score=%.4f tuple=%v\n", i+1, r.Score, r.Tuple)
+	}
+}
+
+// verifyPush checks the standing-equivalence contract between the
+// subscriber-materialized list and a fresh execute at the same epoch:
+// identical lengths, identical score sequences, byte-identical
+// membership strictly above the k-th score, and any at-floor member the
+// push kept must genuinely carry its claimed score.
+func verifyPush(q *tkij.Query, got, want []tkij.Result) error {
+	const eps = 1e-9
+	if len(got) != len(want) {
+		return fmt.Errorf("pushed %d results, fresh execute has %d", len(got), len(want))
+	}
+	if len(got) == 0 {
+		return nil
+	}
+	floor := want[len(want)-1].Score
+	for i := range got {
+		if diff := got[i].Score - want[i].Score; diff > eps || diff < -eps {
+			return fmt.Errorf("rank %d: pushed score %.9f, fresh execute %.9f", i+1, got[i].Score, want[i].Score)
+		}
+		if sameTuple(got[i], want[i]) {
+			continue
+		}
+		// Membership may legitimately differ only among results tied at
+		// the k-th score (tie selection is plan-state-dependent); the
+		// pushed tuple must still really score what it claims.
+		if got[i].Score > floor+eps {
+			return fmt.Errorf("rank %d above the floor diverges: pushed %v, fresh execute %v", i+1, got[i].Tuple, want[i].Tuple)
+		}
+		if diff := q.Score(got[i].Tuple) - got[i].Score; diff > eps || diff < -eps {
+			return fmt.Errorf("rank %d: pushed at-floor tuple %v rescores to %.9f, claimed %.9f",
+				i+1, got[i].Tuple, q.Score(got[i].Tuple), got[i].Score)
+		}
+	}
+	return nil
+}
+
+func sameTuple(a, b tkij.Result) bool {
+	if len(a.Tuple) != len(b.Tuple) {
+		return false
+	}
+	for i := range a.Tuple {
+		if a.Tuple[i].ID != b.Tuple[i].ID {
+			return false
+		}
+	}
+	return true
 }
 
 // minKth returns the minimum k-th local score across reducers with

@@ -10,6 +10,7 @@ import (
 	"tkij/internal/core"
 	"tkij/internal/join"
 	"tkij/internal/query"
+	"tkij/internal/standing"
 )
 
 // Defaults for Options. The window is deliberately short: it only needs
@@ -143,6 +144,11 @@ type Batcher struct {
 	kick     chan struct{} // wakes the dispatcher (capacity 1)
 	inflight chan struct{} // batch-execution semaphore
 	wg       sync.WaitGroup
+
+	// standing is the standing-query manager, created lazily by the
+	// first Subscribe (guarded by mu). An engine carries at most one
+	// ingest hook, so the batcher owns the manager for its engine.
+	standing *standing.Manager
 }
 
 // New returns a running Batcher over e.
@@ -213,6 +219,38 @@ func (b *Batcher) Submit(ctx context.Context, q *query.Query, mapping []int) (*c
 	}
 }
 
+// Subscribe registers a continuous top-k subscription: q executes once
+// at the current epoch and the returned subscription's Deltas channel
+// carries that initial snapshot followed by one incremental delta per
+// ingest push (see internal/standing). k <= 0 uses the engine's
+// Options.K; the subscription lives until ctx is canceled, its Close is
+// called, or the batcher closes.
+func (b *Batcher) Subscribe(ctx context.Context, q *query.Query, k int, opts standing.SubOptions) (*standing.Subscription, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if b.standing == nil {
+		b.standing = standing.NewManager(b.e, standing.Options{})
+	}
+	m := b.standing
+	b.mu.Unlock()
+	return m.Subscribe(ctx, q, k, opts)
+}
+
+// StandingStats returns the standing-query manager's counters (the
+// zero Stats before the first Subscribe).
+func (b *Batcher) StandingStats() standing.Stats {
+	b.mu.Lock()
+	m := b.standing
+	b.mu.Unlock()
+	if m == nil {
+		return standing.Stats{}
+	}
+	return m.Stats()
+}
+
 // wake nudges the dispatcher; a pending nudge is enough.
 func (b *Batcher) wake() {
 	select {
@@ -243,7 +281,13 @@ func (b *Batcher) compactQueueLocked() {
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	b.closed = true
+	m := b.standing
 	b.mu.Unlock()
+	if m != nil {
+		// Terminates every subscription cleanly and detaches the ingest
+		// hook before admission stops.
+		m.Close()
+	}
 	b.wake()
 	b.wg.Wait()
 }

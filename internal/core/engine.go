@@ -128,6 +128,19 @@ type Engine struct {
 	// pinned query might still scatter against the old epoch.
 	shardGate sync.RWMutex
 
+	// gen counts store generations: 0 for the initial build, +1 per
+	// InvalidateStore. The epoch sequence restarts at 0 inside each
+	// generation, so consumers holding epoch-derived state across
+	// rebuilds (standing subscriptions) compare generations to detect
+	// that their diff base is void. Guarded by mu.
+	gen int64
+	// ingestHook, when set, is invoked after Append publishes a new
+	// store epoch and after InvalidateStore discards the partition —
+	// outside the engine lock, so the hook may pin and execute. It must
+	// return quickly and never block (the standing manager's hook is a
+	// non-blocking channel nudge); Append latency includes it.
+	ingestHook func()
+
 	// StatsMetrics describes the statistics-collection job after
 	// PrepareStats (or the first Execute) has run. Like StatsDuration
 	// and StoreBuildDuration, read it only after PrepareStats returns.
@@ -496,7 +509,6 @@ func (e *Engine) ShardWorkers() []*shard.Worker {
 // their pinned epoch.)
 func (e *Engine) InvalidateStore() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.store != nil {
 		// A zero-copy store holds a reference on its snapshot mapping;
 		// dropping the store must drop that too or the rebuild leaks the
@@ -514,6 +526,36 @@ func (e *Engine) InvalidateStore() {
 	// that prompted it may have shrunk buckets — both outside the plan
 	// cache's append-only revalidation model, so cached plans must go.
 	e.plans.Purge()
+	// Standing subscriptions hold epoch-derived diff bases; the
+	// generation bump (observed through pins) forces them to resync
+	// instead of diffing across unrelated epoch sequences.
+	e.gen++
+	hook := e.ingestHook
+	e.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// SetIngestHook registers fn to be called after every successful Append
+// that publishes a new store epoch, and after every InvalidateStore —
+// in both cases outside the engine lock, so fn may pin and execute. fn
+// must return quickly and never block; it is a change notification, not
+// a callback to do work in (the standing manager's hook nudges its
+// dispatcher and returns). One hook is supported; nil clears it.
+func (e *Engine) SetIngestHook(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ingestHook = fn
+}
+
+// StoreGeneration returns the store-generation counter: 0 for the
+// initial build, +1 per InvalidateStore. Epochs are comparable only
+// within one generation.
+func (e *Engine) StoreGeneration() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gen
 }
 
 // Append routes a batch of new intervals for collection col through the
@@ -539,13 +581,28 @@ func (e *Engine) Append(col int, ivs []interval.Interval) (int64, error) {
 			return 0, fmt.Errorf("core: appending invalid interval %v", iv)
 		}
 	}
+	epoch, hook, err := e.appendLocked(col, ivs)
+	if err != nil {
+		return 0, err
+	}
+	// The hook fires after the epoch is published and the engine lock
+	// is released, so it may pin the fresh epoch immediately.
+	if hook != nil {
+		hook()
+	}
+	return epoch, nil
+}
+
+// appendLocked is Append's critical section; it returns the ingest hook
+// to fire (nil when no new epoch was published) alongside the epoch.
+func (e *Engine) appendLocked(col int, ivs []interval.Interval) (int64, func(), error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if len(ivs) == 0 {
 		if e.store != nil {
-			return e.store.Epoch(), nil
+			return e.store.Epoch(), nil, nil
 		}
-		return 0, nil
+		return 0, nil, nil
 	}
 	e.cols[col].Items = append(e.cols[col].Items, ivs...)
 	if e.matrices != nil {
@@ -554,17 +611,21 @@ func (e *Engine) Append(col int, ivs []interval.Interval) (int64, error) {
 		// store epoch corresponds to.
 		m := e.matrices[col].Clone()
 		if err := stats.ApplyUpdate(m, ivs, nil); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		ms := slices.Clone(e.matrices)
 		ms[col] = m
 		e.matrices = ms
 	}
 	if e.store == nil {
-		return 0, nil
+		return 0, nil, nil
 	}
 	if e.cluster == nil {
-		return e.store.Append(col, ivs)
+		epoch, err := e.store.Append(col, ivs)
+		if err != nil {
+			return 0, nil, err
+		}
+		return epoch, e.ingestHook, nil
 	}
 	// Grow the coordinator store and the worker replicas in lockstep,
 	// with no pinned query in flight: pins hold the gate's read side, so
@@ -575,15 +636,15 @@ func (e *Engine) Append(col int, ivs []interval.Interval) (int64, error) {
 	defer e.shardGate.Unlock()
 	epoch, err := e.store.Append(col, ivs)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := e.cluster.Append(col, ivs); err != nil {
 		// The replicas are now behind the coordinator; the cluster has
 		// poisoned itself, so distributed executions fail fast rather
 		// than serve a stale epoch. InvalidateStore recovers.
-		return 0, fmt.Errorf("core: shard replicas lost append epoch %d: %w", epoch, err)
+		return 0, nil, fmt.Errorf("core: shard replicas lost append epoch %d: %w", epoch, err)
 	}
-	return epoch, nil
+	return epoch, e.ingestHook, nil
 }
 
 // Epoch returns the store's current ingest epoch: 0 until the first
@@ -638,6 +699,7 @@ type Pin struct {
 	// Release.
 	runner   join.Runner
 	gated    bool
+	gen      int64
 	released atomic.Bool
 }
 
@@ -651,7 +713,7 @@ func (e *Engine) Pin() (*Pin, error) {
 	if err := e.prepareLocked(); err != nil {
 		return nil, err
 	}
-	p := &Pin{e: e, matrices: e.matrices, store: e.store}
+	p := &Pin{e: e, matrices: e.matrices, store: e.store, gen: e.gen}
 	if e.cluster != nil {
 		e.shardGate.RLock()
 		p.runner = e.cluster
@@ -664,6 +726,16 @@ func (e *Engine) Pin() (*Pin, error) {
 
 // Epoch returns the store epoch the pin captured.
 func (p *Pin) Epoch() int64 { return p.view.Epoch() }
+
+// Generation returns the store generation the pin captured (see
+// Engine.StoreGeneration); the pin's epoch is meaningful only within
+// it.
+func (p *Pin) Generation() int64 { return p.gen }
+
+// Matrices returns the collection-indexed bucket matrices captured at
+// pin time. They are shared with every execution on this pin — treat
+// them as read-only.
+func (p *Pin) Matrices() []*stats.Matrix { return p.matrices }
 
 // Release retires the pin's store view from the live-view accounting
 // and, on a sharded engine, reopens the scatter gate for appends.
@@ -682,6 +754,12 @@ func (p *Pin) Release() {
 // members by: members sharing it share one TopBuckets solve and one
 // cross-reducer floor.
 func (p *Pin) PlanKey(q *query.Query, mapping []int) (string, error) {
+	return p.PlanKeyK(q, mapping, p.e.opts.K)
+}
+
+// PlanKeyK is PlanKey under an explicit result count k — k is part of
+// plan identity, and standing subscriptions run at their own k.
+func (p *Pin) PlanKeyK(q *query.Query, mapping []int, k int) (string, error) {
 	if err := p.e.validateMapping(q, mapping); err != nil {
 		return "", err
 	}
@@ -689,7 +767,7 @@ func (p *Pin) PlanKey(q *query.Query, mapping []int) (string, error) {
 	for v, ci := range mapping {
 		grans[v] = p.matrices[ci].Gran
 	}
-	return plancache.Key(q, mapping, p.e.opts.K, grans), nil
+	return plancache.Key(q, mapping, k, grans), nil
 }
 
 // validateMapping checks q and its vertex-to-collection mapping against
@@ -765,6 +843,11 @@ type Report struct {
 	// exactly the append batches with epoch <= Epoch were visible, no
 	// matter how many landed while the query ran.
 	Epoch int64
+
+	// Standing reports the execution served a standing subscription (the
+	// initial snapshot at Subscribe, or a revalidation-fallback resync)
+	// rather than a one-shot caller query. Filled by internal/standing.
+	Standing bool
 
 	// Batched reports the execution went through the admission layer's
 	// batching path (a Server/Batcher Submit) rather than a direct
@@ -895,15 +978,15 @@ func (e *Engine) pinnedInputs(q *query.Query, mapping []int, pin *Pin) ([]*stats
 }
 
 // planRequest assembles the plan-cache request for (q, mapping) at the
-// pin's epoch.
-func (e *Engine) planRequest(q *query.Query, mapping []int, vertexMs []*stats.Matrix, pin *Pin) plancache.Request {
+// pin's epoch, planning for k results.
+func (e *Engine) planRequest(q *query.Query, mapping []int, vertexMs []*stats.Matrix, pin *Pin, k int) plancache.Request {
 	tbOpts := e.opts.TopBuckets
 	tbOpts.Strategy = e.opts.Strategy
 	return plancache.Request{
 		Query:        q,
 		Matrices:     vertexMs,
 		VertexCols:   mapping,
-		K:            e.opts.K,
+		K:            k,
 		Epoch:        pin.Epoch(),
 		TopBuckets:   tbOpts,
 		Distribution: e.opts.Distribution,
@@ -925,7 +1008,7 @@ func (e *Engine) PlanPinned(ctx context.Context, q *query.Query, mapping []int, 
 	if err != nil {
 		return err
 	}
-	_, err = e.plans.Plan(e.planRequest(q, mapping, vertexMs, pin))
+	_, err = e.plans.Plan(e.planRequest(q, mapping, vertexMs, pin, e.opts.K))
 	return err
 }
 
@@ -939,6 +1022,22 @@ func (e *Engine) PlanPinned(ctx context.Context, q *query.Query, mapping []int, 
 // valid after the call; releasing it is the caller's responsibility.
 func (e *Engine) ExecutePinned(ctx context.Context, q *query.Query, mapping []int, pin *Pin,
 	share *join.BatchShare, floorKey string) (*Report, error) {
+	return e.executePinned(ctx, q, mapping, pin, share, floorKey, e.opts.K)
+}
+
+// ExecutePinnedK is ExecutePinned with an explicit result count k
+// overriding Options.K (and no batch sharing): the standing layer
+// serves each subscription at its own k. k is part of plan-cache
+// identity, so plans at different k never alias.
+func (e *Engine) ExecutePinnedK(ctx context.Context, q *query.Query, mapping []int, pin *Pin, k int) (*Report, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	return e.executePinned(ctx, q, mapping, pin, nil, "", k)
+}
+
+func (e *Engine) executePinned(ctx context.Context, q *query.Query, mapping []int, pin *Pin,
+	share *join.BatchShare, floorKey string, k int) (*Report, error) {
 
 	if err := checkCtx(ctx, "planning"); err != nil {
 		return nil, err
@@ -959,7 +1058,7 @@ func (e *Engine) ExecutePinned(ctx context.Context, q *query.Query, mapping []in
 	// plan incrementally instead of replanning from scratch. Batched
 	// executions usually hit here outright: their batch's plan leader
 	// already warmed the entry at this exact epoch (PlanPinned).
-	planned, err := e.plans.Plan(e.planRequest(q, mapping, vertexMs, pin))
+	planned, err := e.plans.Plan(e.planRequest(q, mapping, vertexMs, pin, k))
 	if err != nil {
 		return nil, err
 	}
@@ -988,7 +1087,7 @@ func (e *Engine) ExecutePinned(ctx context.Context, q *query.Query, mapping []in
 	localOpts.Share = share
 	localOpts.FloorKey = floorKey
 	storeBefore := st.Snapshot()
-	out, err := join.RunWith(ctx, q, srcs, grans, tb.Selected, assign, e.opts.K,
+	out, err := join.RunWith(ctx, q, srcs, grans, tb.Selected, assign, k,
 		mapreduce.Config{Mappers: e.opts.Mappers, Reducers: e.opts.Reducers}, localOpts,
 		mapping, pin.runner)
 	if err != nil {
@@ -1019,4 +1118,50 @@ func (e *Engine) ExecutePinned(ctx context.Context, q *query.Query, mapping []in
 	report.MergeTime = out.MergeDuration
 	report.Total = time.Since(total)
 	return report, nil
+}
+
+// ProbePinned runs the join + merge phases over an explicit combination
+// list at a pre-pinned epoch, bypassing the planning phases entirely:
+// the standing layer re-probes exactly the bucket combinations an epoch
+// bump affected, instead of re-planning and re-joining the full
+// selection. combos must carry sound LB/UB bounds over the pin's
+// matrices (topbuckets.TightenBounds); floor seeds the cross-reducer
+// score threshold — pass a certified lower bound on the k-th result
+// score, or 0 to disable seeding. The probe runs through the pin's
+// runner, so on a sharded engine it scatters to the same shard workers
+// (with the same floor broadcast) a fresh execution would use.
+func (e *Engine) ProbePinned(ctx context.Context, q *query.Query, mapping []int, pin *Pin,
+	combos []topbuckets.Combo, k int, floor float64) (*join.Output, error) {
+
+	if err := checkCtx(ctx, "probe"); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	_, srcs, grans, err := e.pinnedInputs(q, mapping, pin)
+	if err != nil {
+		return nil, err
+	}
+	if len(combos) == 0 {
+		return &join.Output{Results: []join.Result{}}, nil
+	}
+	assign, err := distribute.Assign(e.opts.Distribution, combos, e.opts.Reducers)
+	if err != nil {
+		return nil, err
+	}
+	localOpts := e.opts.Local
+	if localOpts.Floor < floor {
+		localOpts.Floor = floor
+	}
+	out, err := join.RunWith(ctx, q, srcs, grans, combos, assign, k,
+		mapreduce.Config{Mappers: e.opts.Mappers, Reducers: e.opts.Reducers}, localOpts,
+		mapping, pin.runner)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			return nil, fmt.Errorf("core: %w during probe: %w", ErrCanceled, cerr)
+		}
+		return nil, err
+	}
+	return out, nil
 }

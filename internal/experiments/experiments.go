@@ -199,6 +199,7 @@ func All(ctx context.Context, cfg Config) ([]*Table, error) {
 		{"admission", Admission},
 		{"mmap", Mmap},
 		{"shards", Shards},
+		{"standing", Standing},
 	}
 	var all []*Table
 	for _, r := range runners {
@@ -237,6 +238,7 @@ func ByID(ctx context.Context, id string, cfg Config) ([]*Table, error) {
 		"admission": Admission,
 		"mmap":      Mmap,
 		"shards":    Shards,
+		"standing":  Standing,
 	}
 	fn, ok := drivers[id]
 	if !ok {

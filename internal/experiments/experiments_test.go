@@ -34,6 +34,7 @@ func TestAllDriversAtTinyScale(t *testing.T) {
 		{"ablation", Ablations, 1},
 		{"plancache", PlanCache, 3},
 		{"mmap", Mmap, 3},
+		{"standing", Standing, 1},
 	}
 	for _, d := range drivers {
 		d := d

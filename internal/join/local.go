@@ -94,6 +94,15 @@ type LocalOptions struct {
 	// that. Empty keeps the floor private to this execution (bound
 	// memoization still applies).
 	FloorKey string
+	// Cancel, when non-nil, is polled periodically during candidate
+	// enumeration (every few thousand visits, so the hot loop stays
+	// branch-cheap); once it reports true the join abandons its
+	// remaining work and the runner returns an error instead of
+	// results. The local runner installs the request context's Err here
+	// so an abandoned caller — a standing subscription closed while a
+	// push executes on its behalf — stops burning reducer time on a
+	// result nobody will read.
+	Cancel func() bool
 }
 
 // floorEps is subtracted from score floors before strict comparisons so
@@ -264,6 +273,10 @@ type localJoiner struct {
 	probing    bool
 	probeCount int
 	stop       bool
+	// canceled latches once opts.Cancel reports true: every recursion
+	// level, probe round and combination loop unwinds, and the caller
+	// must discard the (truncated) output.
+	canceled bool
 
 	// grans maps each query vertex to its collection's granulation plus
 	// observed endpoint extent, used to derive per-edge score upper
@@ -305,6 +318,11 @@ func (l *probeLevel) visit(iv interval.Interval) {
 	p := lj.plan
 	lj.tuple[p.order[l.pos]] = iv
 	lj.stats.TuplesExamined++
+	if lj.opts.Cancel != nil && lj.stats.TuplesExamined%4096 == 0 && lj.opts.Cancel() {
+		lj.canceled = true
+		lj.stop = true
+		return
+	}
 	for _, ei := range p.bindEdges[l.pos] {
 		e := p.q.Edges[ei]
 		lj.partials[ei] = e.Pred.Score(lj.tuple[e.From], lj.tuple[e.To])
@@ -409,7 +427,7 @@ func (lj *localJoiner) Run(combos []topbuckets.Combo) []Result {
 		// at least v exist locally; the exact pass then starts with that
 		// threshold.
 		for _, v := range probeLadder {
-			if v <= lj.floor {
+			if v <= lj.floor || lj.canceled {
 				break
 			}
 			lj.stats.ProbeRounds++
@@ -427,6 +445,9 @@ func (lj *localJoiner) Run(combos []topbuckets.Combo) []Result {
 	lj.stats.FloorUsed = lj.floor
 
 	for i, c := range ordered {
+		if lj.canceled {
+			break
+		}
 		if !lj.opts.DisablePruning && c.UB <= lj.pruneThreshold() {
 			// Sorted by descending UB: every remaining combination is
 			// also dominated. This is the early-termination payoff of

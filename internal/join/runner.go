@@ -2,6 +2,7 @@ package join
 
 import (
 	"context"
+	"errors"
 	"slices"
 	"sort"
 
@@ -77,13 +78,25 @@ type Runner interface {
 	RunReducers(ctx context.Context, req *ReduceRequest) (*RunnerOutput, error)
 }
 
+// errJoinCanceled reports a reducer abandoned by LocalOptions.Cancel
+// when the request context itself carries no error (a caller-supplied
+// Cancel hook fired).
+var errJoinCanceled = errors.New("join: local reducer canceled")
+
 // localRunner is the default Runner: the in-process join Map-Reduce job
 // of Figure 5 (c)-(d), shuffling bucket references to reduce tasks that
 // each evaluate their combination share against the resident store.
 type localRunner struct{}
 
 func (localRunner) RunReducers(ctx context.Context, req *ReduceRequest) (*RunnerOutput, error) {
-	_ = ctx // the in-process job is not interrupted mid-flight; Run checks between phases
+	// A cancelable context makes reducers poll it mid-combination (see
+	// LocalOptions.Cancel): abandoned callers stop burning reducer time.
+	// Background-like contexts (Done() == nil) keep the hot loop free of
+	// the polling branch entirely.
+	opts := req.Opts
+	if opts.Cancel == nil && ctx.Done() != nil {
+		opts.Cancel = func() bool { return ctx.Err() != nil }
+	}
 	assign := req.Assign
 	cfg := req.Config
 	cfg.Reducers = assign.Reducers
@@ -122,8 +135,15 @@ func (localRunner) RunReducers(ctx context.Context, req *ReduceRequest) (*Runner
 		},
 		Partition: mapreduce.IdentityPartition,
 		Reduce: func(rj int, refs []routedRef, emit func(ReducerOutput)) error {
-			lj := newLocalJoiner(plan, req.K, req.Opts, req.Srcs, req.Grans, req.Shared)
+			lj := newLocalJoiner(plan, req.K, opts, req.Srcs, req.Grans, req.Shared)
 			results := lj.Run(reducerCombos[rj])
+			if lj.canceled {
+				// Truncated output must never reach the merge.
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				return errJoinCanceled
+			}
 			lj.stats.Reducer = rj
 			lj.stats.BucketRefsRouted = len(refs)
 			for _, ref := range refs {

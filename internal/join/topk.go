@@ -37,6 +37,13 @@ func less(a, b Result) bool {
 	return false
 }
 
+// Less reports whether a orders before b under the deterministic total
+// order every merge in the pipeline uses: descending score, tuple IDs
+// ascending as the tie-break. Exported for layers that must reproduce
+// merge order exactly (the standing layer's delta computation and
+// materializer).
+func Less(a, b Result) bool { return less(a, b) }
+
 // TopK is a bounded collector of the k best results. The zero value is
 // unusable; use NewTopK.
 type TopK struct {

@@ -34,6 +34,7 @@ func DefaultScope() []string {
 		"tkij/internal/core",
 		"tkij/internal/join",
 		"tkij/internal/admission",
+		"tkij/internal/standing",
 		"tkij/internal/distribute",
 		"tkij/internal/experiments",
 	}

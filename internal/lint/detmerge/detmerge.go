@@ -37,6 +37,7 @@ func DefaultScope() []string {
 		"tkij/internal/snapshot",
 		"tkij/internal/core",
 		"tkij/internal/topbuckets",
+		"tkij/internal/standing",
 	}
 }
 

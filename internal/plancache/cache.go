@@ -130,14 +130,6 @@ type Stats struct {
 	Cost float64
 }
 
-// vertexState is the per-vertex matrix fingerprint an entry was planned
-// against; revalidation diffs it against the current matrices to find
-// the affected buckets.
-type vertexState struct {
-	grid    stats.Grid
-	buckets map[[2]int]bool // non-empty (startG, endG) cells at plan time
-}
-
 // entry is one cached plan. All fields are immutable after insertion —
 // revalidation replaces the entry rather than mutating it, so readers
 // holding a plan across an epoch bump are unaffected.
@@ -153,8 +145,11 @@ type entry struct {
 	assign   *distribute.Assignment
 	planTime time.Duration // original full-plan wall time
 	cost     float64
-	vstates  []vertexState
-	el       *list.Element
+	// state is the matrix fingerprint the plan was computed against
+	// (EpochState); revalidation diffs it against the current matrices
+	// to find the affected buckets.
+	state *EpochState
+	el    *list.Element
 }
 
 // Cache is a bounded, epoch-aware plan cache. Safe for concurrent use;
@@ -326,7 +321,7 @@ func fullPlan(req Request) (*Planned, *entry, error) {
 		assign:   assign,
 		planTime: tbTime + dTime,
 		cost:     planCost(tb),
-		vstates:  fingerprint(req.Matrices),
+		state:    CaptureEpochState(req.Matrices),
 	}
 	return &Planned{
 		TopBuckets:     tb,
@@ -346,20 +341,6 @@ func planCost(tb *topbuckets.Result) float64 {
 		cost = 1
 	}
 	return cost
-}
-
-// fingerprint captures each vertex matrix's grid and non-empty bucket
-// set — what revalidation diffs against a later epoch.
-func fingerprint(matrices []*stats.Matrix) []vertexState {
-	vs := make([]vertexState, len(matrices))
-	for v, m := range matrices {
-		set := make(map[[2]int]bool)
-		for _, b := range m.Buckets() {
-			set[[2]int{b.StartG, b.EndG}] = true
-		}
-		vs[v] = vertexState{grid: m.Grid(), buckets: set}
-	}
-	return vs
 }
 
 // granulations projects the per-vertex granulation signatures.

@@ -1,0 +1,139 @@
+package plancache
+
+import (
+	"tkij/internal/stats"
+)
+
+// EpochState is the per-vertex bucket-matrix fingerprint a plan — or a
+// standing subscription's pushed top-k — was computed against: each
+// vertex's granulation grid (with observed endpoint extent) and its
+// per-bucket interval counts. Diffing it against the matrices of a
+// later epoch classifies exactly what the intervening appends changed.
+// Plan revalidation (revalidate.go) and the standing layer's
+// incremental re-probe share this one diff; they just consume different
+// predicates of it (ShapeAffected vs Grown). Capture is O(non-empty
+// buckets); a state is immutable after capture and safe to share.
+type EpochState struct {
+	states []vertexState
+}
+
+// vertexState is one vertex's share of an EpochState.
+type vertexState struct {
+	grid   stats.Grid
+	counts map[[2]int]int // (startG, endG) -> interval count at capture
+}
+
+// CaptureEpochState fingerprints the per-vertex matrices.
+func CaptureEpochState(matrices []*stats.Matrix) *EpochState {
+	vs := make([]vertexState, len(matrices))
+	for v, m := range matrices {
+		counts := make(map[[2]int]int)
+		for _, b := range m.Buckets() {
+			counts[[2]int{b.StartG, b.EndG}] = b.Count
+		}
+		vs[v] = vertexState{grid: m.Grid(), counts: counts}
+	}
+	return &EpochState{states: vs}
+}
+
+// Diff classifies the transition from the captured state to the current
+// matrices under the append-only epoch model. permute maps current
+// vertex v onto the captured state's vertex (nil = identity) — the plan
+// cache passes the isomorphism between an entry's labeling and the
+// request's. ok is false when the transition is outside the append-only
+// model (vertex-count mismatch, granulation swap): nothing can be
+// diffed and the caller must re-plan or resync from scratch.
+func (s *EpochState) Diff(matrices []*stats.Matrix, permute []int) (*EpochDiff, bool) {
+	if s == nil || len(matrices) != len(s.states) {
+		return nil, false
+	}
+	d := &EpochDiff{matrices: matrices, diffs: make([]vertexDiff, len(matrices))}
+	for v, m := range matrices {
+		sv := v
+		if permute != nil {
+			sv = permute[v]
+		}
+		old := s.states[sv]
+		grid := m.Grid()
+		if grid.Gran != old.grid.Gran {
+			return nil, false
+		}
+		vd := vertexDiff{
+			widenLo: grid.Lo < old.grid.Lo,
+			widenHi: grid.Hi > old.grid.Hi,
+			old:     old.counts,
+		}
+		if vd.widenLo || vd.widenHi {
+			// An out-of-range append clamped into a boundary bucket:
+			// boundary boxes changed shape and some bucket grew.
+			d.anyShape, d.anyGrowth = true, true
+		} else {
+			for _, b := range m.Buckets() {
+				c, ok := old.counts[[2]int{b.StartG, b.EndG}]
+				if !ok {
+					d.anyShape, d.anyGrowth = true, true
+					break
+				}
+				if b.Count != c {
+					d.anyGrowth = true
+				}
+			}
+		}
+		d.diffs[v] = vd
+	}
+	return d, true
+}
+
+// EpochDiff is the classified difference between an EpochState and a
+// later epoch's matrices. The matrices it was diffed against must
+// outlive it (it serves its predicates from them).
+type EpochDiff struct {
+	matrices  []*stats.Matrix
+	diffs     []vertexDiff
+	anyShape  bool
+	anyGrowth bool
+}
+
+type vertexDiff struct {
+	widenLo, widenHi bool
+	old              map[[2]int]int
+}
+
+// AnyShape reports whether any bucket's granule box changed: a bucket
+// appeared, or a boundary granule widened. Only then can cached score
+// bounds be stale; grown-in-place counts never move a box.
+func (d *EpochDiff) AnyShape() bool { return d.anyShape }
+
+// AnyGrown reports whether any bucket's contents grew — whether the
+// epoch transition can contribute any new join result at all.
+func (d *EpochDiff) AnyGrown() bool { return d.anyGrowth }
+
+// ShapeAffected is the plan-revalidation predicate: bucket b of vertex
+// v is new, or lies on a boundary granule whose box widened, so its
+// cached bounds no longer bind. Grown-in-place buckets are deliberately
+// not flagged — their boxes (hence bounds) are unchanged, and grown
+// counts only strengthen a selection certificate.
+func (d *EpochDiff) ShapeAffected(v int, b stats.Bucket) bool {
+	vd := d.diffs[v]
+	if _, ok := vd.old[[2]int{b.StartG, b.EndG}]; !ok {
+		return true
+	}
+	lastG := d.matrices[v].Gran.G - 1
+	if vd.widenLo && (b.StartG == 0 || b.EndG == 0) {
+		return true
+	}
+	if vd.widenHi && (b.StartG == lastG || b.EndG == lastG) {
+		return true
+	}
+	return false
+}
+
+// Grown is the standing re-probe predicate: bucket b of vertex v holds
+// intervals appended since the state was captured (the bucket is new,
+// or its count grew). Every tuple involving an appended interval lives
+// in a combination with at least one Grown bucket — the completeness
+// argument behind incremental push (see internal/standing).
+func (d *EpochDiff) Grown(v int, b stats.Bucket) bool {
+	c, ok := d.diffs[v].old[[2]int{b.StartG, b.EndG}]
+	return !ok || b.Count != c
+}

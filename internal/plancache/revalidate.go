@@ -38,14 +38,6 @@ import (
 func (c *Cache) revalidate(e *entry, req Request, reqLabeling []int) (*entry, *Planned) {
 	start := time.Now()
 
-	type vertexDiff struct {
-		widenLo, widenHi bool
-		isNew            func(b stats.Bucket) bool
-	}
-	n := len(req.Matrices)
-	if n != len(e.vstates) {
-		return nil, nil
-	}
 	// The entry may be expressed in an isomorphic query's labeling;
 	// sigma maps request vertices onto entry vertices (nil = identity).
 	sigma := sigmaFor(e.labeling, reqLabeling)
@@ -55,36 +47,16 @@ func (c *Cache) revalidate(e *entry, req Request, reqLabeling []int) (*entry, *P
 		}
 		return sigma[v]
 	}
-	diffs := make([]vertexDiff, n)
-	lists := make([][]stats.Bucket, n)
-	anyAffected := false
+	diff, ok := e.state.Diff(req.Matrices, sigma)
+	if !ok {
+		return nil, nil // granulation swap or vertex mismatch: not append-only
+	}
+	lists := make([][]stats.Bucket, len(req.Matrices))
 	for v, m := range req.Matrices {
-		old := e.vstates[entryVertex(v)]
-		grid := m.Grid()
-		if grid.Gran != old.grid.Gran {
-			return nil, nil // granulation swap: not an append-only transition
-		}
-		d := vertexDiff{
-			widenLo: grid.Lo < old.grid.Lo,
-			widenHi: grid.Hi > old.grid.Hi,
-		}
-		oldSet := old.buckets
-		d.isNew = func(b stats.Bucket) bool { return !oldSet[[2]int{b.StartG, b.EndG}] }
 		lists[v] = m.Buckets()
-		if d.widenLo || d.widenHi {
-			anyAffected = true
-		} else {
-			for _, b := range lists[v] {
-				if d.isNew(b) {
-					anyAffected = true
-					break
-				}
-			}
-		}
-		diffs[v] = d
 	}
 
-	if !anyAffected {
+	if !diff.AnyShape() {
 		// Pure promotion: no bucket the plan's bounds depend on changed
 		// shape. Grown counts only strengthen the kthResLB certificate
 		// (more results at or above the floor), so plan, bounds, floor
@@ -93,7 +65,7 @@ func (c *Cache) revalidate(e *entry, req Request, reqLabeling []int) (*entry, *P
 		ne := &entry{
 			key: e.key, epoch: req.Epoch, labeling: e.labeling,
 			tb: e.tb, assign: e.assign,
-			planTime: e.planTime, cost: e.cost, vstates: e.vstates,
+			planTime: e.planTime, cost: e.cost, state: e.state,
 		}
 		tb, assign := translatePlan(e.tb, e.assign, sigma)
 		return ne, &Planned{
@@ -105,20 +77,7 @@ func (c *Cache) revalidate(e *entry, req Request, reqLabeling []int) (*entry, *P
 		}
 	}
 
-	affected := func(v int, b stats.Bucket) bool {
-		d := diffs[v]
-		if d.isNew(b) {
-			return true
-		}
-		lastG := req.Matrices[v].Gran.G - 1
-		if d.widenLo && (b.StartG == 0 || b.EndG == 0) {
-			return true
-		}
-		if d.widenHi && (b.StartG == lastG || b.EndG == lastG) {
-			return true
-		}
-		return false
-	}
+	affected := diff.ShapeAffected
 	if topbuckets.CountAffected(lists, affected) > c.opts.MaxAffected {
 		return nil, nil
 	}
@@ -216,7 +175,7 @@ func (c *Cache) revalidate(e *entry, req Request, reqLabeling []int) (*entry, *P
 		tb: tb, assign: assign,
 		planTime: e.planTime,
 		cost:     e.cost + float64(len(dirty)+len(fresh)),
-		vstates:  fingerprint(req.Matrices),
+		state:    CaptureEpochState(req.Matrices),
 	}
 	return ne, &Planned{
 		TopBuckets:     tb,
