@@ -61,6 +61,7 @@
 package tkij
 
 import (
+	"errors"
 	"io"
 
 	"tkij/internal/admission"
@@ -68,6 +69,7 @@ import (
 	"tkij/internal/distribute"
 	"tkij/internal/interval"
 	"tkij/internal/join"
+	"tkij/internal/obs"
 	"tkij/internal/plancache"
 	"tkij/internal/query"
 	"tkij/internal/scoring"
@@ -340,4 +342,72 @@ func AppendSnapshotDelta(path string, col int, ivs []Interval) (int64, error) {
 // number of collections; use at small scale only.
 func Exhaustive(q *Query, cols []*Collection, k int) ([]Result, error) {
 	return join.Exhaustive(q, cols, k)
+}
+
+// Observability. Instrumentation across the serving stack (per-phase
+// latency histograms, plan-cache outcome counters, standing routing
+// counters, shard wire counters) records into a process-wide registry
+// unconditionally — atomics only, allocation-free — and ServeDebug
+// exposes it over HTTP on demand. Span tracing is opt-in per engine
+// (Options.Tracer): attach a Tracer to collect per-query span trees and
+// export them as JSONL or Chrome trace-event JSON (chrome://tracing,
+// Perfetto).
+type (
+	// Tracer collects per-query span trees (Options.Tracer); nil keeps
+	// tracing detached and allocation-free.
+	Tracer = obs.Tracer
+	// DebugServer is a running debug/metrics HTTP server (ServeDebug).
+	DebugServer = obs.Server
+	// MetricsRegistry is a set of named instruments renderable in
+	// Prometheus text format.
+	MetricsRegistry = obs.Registry
+)
+
+// NewTracer returns a span tracer to set on Options.Tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// ServeDebug starts the opt-in debug HTTP server on addr, exposing
+// Prometheus-text /metrics (the process-wide instrument registry plus
+// the engine/server snapshot bridges), JSON /varz (the same snapshots:
+// store views, plan cache, admission, standing), /healthz (503 while a
+// background mmap verification failure or a shard-cluster fault is
+// poisoning admission), and /debug/pprof. engine is required; server
+// may be nil (engine-only deployments, tkij-bench). Close the returned
+// server with a bounded context to shut down.
+func ServeDebug(addr string, engine *Engine, server *Server) (*DebugServer, error) {
+	if engine == nil {
+		return nil, errNilEngine
+	}
+	vars := []obs.Var{
+		{Name: "store_views", Fn: func() any { return engine.StoreViewStats() }},
+		{Name: "store", Fn: func() any { return engine.StoreStats() }},
+		{Name: "plancache", Fn: func() any { return engine.PlanCacheStats() }},
+	}
+	if server != nil {
+		vars = append(vars,
+			obs.Var{Name: "admission", Fn: func() any { return server.Stats() }},
+			obs.Var{Name: "standing", Fn: func() any { return server.StandingStats() }},
+		)
+	}
+	return obs.Serve(addr, obs.ServeOptions{
+		Vars:   vars,
+		Health: engine.Health,
+	})
+}
+
+var errNilEngine = errors.New("tkij: ServeDebug needs an engine")
+
+// ParseMetricsText parses Prometheus text-format metrics into a
+// series→value map — the validation half of the metrics endpoint
+// (tkijrun -check-metrics, CI smoke tests).
+func ParseMetricsText(r io.Reader) (map[string]float64, error) {
+	return obs.ParseText(r)
+}
+
+// WriteTrace exports the span trees collected by t: Chrome trace-event
+// JSON by default (loadable in chrome://tracing or Perfetto), or one
+// JSON object per span when jsonl is set. A nil tracer writes an empty
+// export.
+func WriteTrace(t *Tracer, w io.Writer, jsonl bool) error {
+	return obs.WriteTraceFile(t, w, jsonl)
 }

@@ -18,7 +18,7 @@
 //
 // Experiments: stats fig7 fig8 fig9 fig10 fig11 sec4.2.6 fig12 fig13
 // fig14 ablation serving restart ingest plancache admission mmap shards
-// standing all.
+// standing obs all.
 // The serving, restart, ingest, plancache, admission and mmap
 // experiments go beyond the paper: serving measures the dataset-resident
 // bucket store's repeated-query and concurrent-query paths on one warm
@@ -38,7 +38,10 @@
 // run); standing measures continuous top-k subscriptions (per-append
 // push latency vs the sequential re-execute a non-standing client pays,
 // across append localities, with the affected/probed bucket-combination
-// counts that explain the gap).
+// counts that explain the gap); obs measures the observability layer
+// (span-tracing overhead attached vs detached on the plan-cache-hit and
+// standing-push hot paths, and the zero-allocation detachment contract
+// — BENCH_obs.json holds a committed run).
 //
 // -json emits the tables as a JSON array instead of aligned text, for
 // committing benchmark runs or diffing them across changes.
@@ -55,17 +58,31 @@ import (
 	"syscall"
 
 	"tkij/internal/experiments"
+	"tkij/internal/obs"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig7..fig14, stats, sec4.2.6, ablation, serving, restart, ingest, plancache, admission, mmap, shards, standing, all)")
+		exp      = flag.String("exp", "all", "experiment id (fig7..fig14, stats, sec4.2.6, ablation, serving, restart, ingest, plancache, admission, mmap, shards, standing, obs, all)")
 		scale    = flag.Float64("scale", 1, "dataset scale multiplier")
 		reducers = flag.Int("reducers", 24, "reduce tasks")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
 		asJSON   = flag.Bool("json", false, "emit tables as a JSON array instead of aligned text")
+		metrics  = flag.String("metrics-addr", "", "serve the debug/metrics HTTP endpoint (/metrics, /healthz, /debug/pprof) while the experiments run")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		// Process-wide registry + pprof; useful for profiling a long
+		// benchmark run. No engine/server bridges — experiments build and
+		// discard many engines internally.
+		srv, err := obs.Serve(*metrics, obs.ServeOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tkij-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tkij-bench: debug/metrics endpoint on http://%s/metrics\n", srv.Addr())
+	}
 
 	cfg := experiments.Config{Scale: *scale, Reducers: *reducers}
 	if !*quiet {

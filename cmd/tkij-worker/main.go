@@ -23,15 +23,29 @@ import (
 	"net"
 	"os"
 
+	"tkij/internal/obs"
 	"tkij/internal/shard"
 )
 
 func main() {
 	var (
 		listen  = flag.String("listen", ":7071", "TCP address to serve shard connections on")
+		metrics = flag.String("metrics-addr", "", "serve the debug/metrics HTTP endpoint (/metrics, /healthz, /debug/pprof) on this address")
 		verbose = flag.Bool("v", false, "log connection lifecycle")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		// The worker has no engine; the endpoint exposes the process-wide
+		// registry (shard frame/byte counters) and pprof. It lives for the
+		// whole process, so there is no shutdown path.
+		srv, err := obs.Serve(*metrics, obs.ServeOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tkij-worker:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tkij-worker: debug/metrics endpoint on http://%s/metrics\n", srv.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -74,6 +74,21 @@
 // execute equivalence gate, runnable from CI:
 //
 //	tkijrun -query Qo,m -subscribe -append extra.tsv -subscribe-chunks 8 -json C1.tsv C2.tsv C3.tsv
+//
+// Observability: -metrics-addr starts the opt-in debug HTTP server
+// (Prometheus-text /metrics, JSON /varz, /healthz, /debug/pprof) for
+// the life of the process; -metrics-hold keeps it up after the runs
+// finish so an external scraper can read a fully-populated registry.
+// -trace-out attaches a span tracer to the engine and writes the
+// collected per-query span trees at exit — Chrome trace-event JSON by
+// default (chrome://tracing, Perfetto), JSONL when the path ends in
+// .jsonl. -check-metrics is a standalone mode: fetch a /metrics URL,
+// parse it as Prometheus text, assert the core TKIJ series are present,
+// and exit 0/1 — the CI smoke probe:
+//
+//	tkijrun -query Qo,m -repeat 3 -metrics-addr :7200 -metrics-hold 5s C1.tsv C2.tsv C3.tsv &
+//	tkijrun -check-metrics http://localhost:7200/metrics
+//	tkijrun -query Qo,m -trace-out trace.json C1.tsv C2.tsv C3.tsv
 package main
 
 import (
@@ -81,6 +96,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -216,8 +232,16 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 		verbose   = flag.Bool("v", false, "print phase metrics")
 		top       = flag.Int("print", 10, "number of results to print")
+		metrics   = flag.String("metrics-addr", "", "serve the debug/metrics HTTP endpoint (/metrics, /varz, /healthz, /debug/pprof) on this address")
+		holdFor   = flag.Duration("metrics-hold", 0, "with -metrics-addr: keep the endpoint up this long after the runs finish (lets an external scraper read the populated registry)")
+		traceOut  = flag.String("trace-out", "", "attach a span tracer and write the collected trace here at exit (Chrome trace-event JSON; .jsonl suffix switches to JSONL)")
+		checkURL  = flag.String("check-metrics", "", "standalone mode: fetch this /metrics URL, validate the Prometheus text and the core TKIJ series, exit 0/1")
 	)
 	flag.Parse()
+	if *checkURL != "" {
+		checkMetrics(*checkURL)
+		return
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "tkijrun: no collection files given")
 		flag.Usage()
@@ -263,6 +287,11 @@ func main() {
 		PlanCache: tkij.PlanCacheOptions{Disabled: *noCache},
 		Mmap:      *useMmap,
 		Shards:    *shards, ShardNoFloorBroadcast: *noFloorBc,
+	}
+	var tracer *tkij.Tracer
+	if *traceOut != "" {
+		tracer = tkij.NewTracer()
+		opts.Tracer = tracer
 	}
 	if *shardAddr != "" {
 		opts.ShardAddrs = strings.Split(*shardAddr, ",")
@@ -319,6 +348,27 @@ func main() {
 			fatal(err)
 		}
 	}
+	// The admission/batching layer is created up front when a mode needs
+	// it (-subscribe registers subscriptions through it; -concurrency > 1
+	// routes repeat rounds through it) so the debug endpoint can bridge
+	// its stats for the whole run.
+	var server *tkij.Server
+	if *subscribe || *conc > 1 {
+		server = tkij.NewServer(engine, tkij.ServerOptions{Window: *batchWin})
+		defer server.Close()
+	}
+	var debugSrv *tkij.DebugServer
+	if *metrics != "" {
+		debugSrv, err = tkij.ServeDebug(*metrics, engine, server)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tkijrun: debug/metrics endpoint on http://%s/metrics\n", debugSrv.Addr())
+	}
+	// Normal exits flush the observability sinks: hold the endpoint for
+	// late scrapers, shut it down bounded, write the trace file.
+	defer shutdownObs(debugSrv, *holdFor, tracer, *traceOut)
+
 	if *subscribe {
 		if batch == nil {
 			fatal(fmt.Errorf("-subscribe streams the -append batch; give it one"))
@@ -326,9 +376,9 @@ func main() {
 		if *appendDlt {
 			fatal(fmt.Errorf("-append-delta is not supported with -subscribe"))
 		}
-		runSubscribe(engine, q, mapping, batch, subscribeConfig{
+		runSubscribe(engine, server, q, mapping, batch, subscribeConfig{
 			k: *k, appendCol: *appendCol, chunks: *subChunks, top: *top,
-			window: *batchWin, jsonOut: *jsonOut, verbose: *verbose,
+			jsonOut: *jsonOut, verbose: *verbose,
 			reducers: *reducers,
 		})
 		return
@@ -363,11 +413,6 @@ func main() {
 	// With -concurrency > 1, every repeat round submits N copies of the
 	// query at once through the admission/batching layer; they coalesce
 	// into batches sharing one pinned epoch, plan and score floor.
-	var server *tkij.Server
-	if *conc > 1 {
-		server = tkij.NewServer(engine, tkij.ServerOptions{Window: *batchWin})
-		defer server.Close()
-	}
 	runOnce := func() []*tkij.Report {
 		if server == nil {
 			r, err := engine.ExecuteMapped(context.Background(), q, mapping)
@@ -493,7 +538,6 @@ func main() {
 // subscribeConfig carries the flag values -subscribe mode needs.
 type subscribeConfig struct {
 	k, appendCol, chunks, top, reducers int
-	window                              time.Duration
 	jsonOut, verbose                    bool
 }
 
@@ -503,9 +547,7 @@ type subscribeConfig struct {
 // folded through SubscriptionTopK.Apply) against a fresh sequential
 // re-execute at the same epoch. Any divergence is fatal — this is the
 // push-equals-fresh-execute gate CI runs.
-func runSubscribe(engine *tkij.Engine, q *tkij.Query, mapping []int, batch *tkij.Collection, cfg subscribeConfig) {
-	server := tkij.NewServer(engine, tkij.ServerOptions{Window: cfg.window})
-	defer server.Close()
+func runSubscribe(engine *tkij.Engine, server *tkij.Server, q *tkij.Query, mapping []int, batch *tkij.Collection, cfg subscribeConfig) {
 	sub, err := server.Subscribe(context.Background(), q, cfg.k, tkij.SubscribeOptions{Mapping: mapping})
 	if err != nil {
 		fatal(err)
@@ -693,6 +735,114 @@ func minKth(report *tkij.Report) float64 {
 		}
 	}
 	return min
+}
+
+// shutdownObs flushes the observability sinks on a normal exit: hold
+// the debug endpoint for late scrapers (-metrics-hold), shut it down
+// under a bounded context, and write the collected trace (-trace-out).
+func shutdownObs(debugSrv *tkij.DebugServer, hold time.Duration, tracer *tkij.Tracer, traceOut string) {
+	if debugSrv != nil {
+		if hold > 0 {
+			fmt.Fprintf(os.Stderr, "tkijrun: holding metrics endpoint for %v\n", hold)
+			time.Sleep(hold)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := debugSrv.Close(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "tkijrun: metrics endpoint shutdown:", err)
+		}
+		cancel()
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		jsonl := strings.HasSuffix(traceOut, ".jsonl")
+		if err := tkij.WriteTrace(tracer, f, jsonl); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		format := "chrome-trace"
+		if jsonl {
+			format = "jsonl"
+		}
+		fmt.Fprintf(os.Stderr, "tkijrun: trace written to %s (%s)\n", traceOut, format)
+	}
+}
+
+// checkMetrics is -check-metrics mode: fetch a /metrics URL, parse it
+// as Prometheus text (any malformed line fails the parse), and assert
+// the core TKIJ series families are present — the CI smoke probe. The
+// families are registered at package init, so they are present (at
+// zero) on any live tkijrun endpoint; missing families mean the
+// instrumentation was unlinked or the endpoint is not a TKIJ process.
+func checkMetrics(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("check-metrics: %s returned %s", url, resp.Status))
+	}
+	series, err := tkij.ParseMetricsText(resp.Body)
+	if err != nil {
+		fatal(fmt.Errorf("check-metrics: invalid Prometheus text: %v", err))
+	}
+	families := []string{
+		"tkij_core_queries_total",
+		"tkij_core_query_seconds",
+		"tkij_core_phase_seconds",
+		"tkij_core_appends_total",
+		"tkij_plancache_outcome_total",
+		"tkij_admission_submitted_total",
+		"tkij_standing_routing_total",
+		"tkij_shard_frames_sent_total",
+		"tkij_shard_shipped_bytes_total",
+	}
+	labels := []string{
+		`phase="topbuckets"`, `phase="distribute"`, `phase="join"`, `phase="merge"`,
+		`outcome="hit"`, `outcome="revalidated"`, `outcome="miss"`,
+		`route="promote"`, `route="push"`, `route="resync"`,
+	}
+	var missing []string
+	for _, fam := range families {
+		if !hasSeriesPrefix(series, fam) {
+			missing = append(missing, fam)
+		}
+	}
+	for _, l := range labels {
+		if !hasSeriesSubstring(series, l) {
+			missing = append(missing, l)
+		}
+	}
+	if len(missing) > 0 {
+		fatal(fmt.Errorf("check-metrics: %d series parsed but missing: %s",
+			len(series), strings.Join(missing, ", ")))
+	}
+	fmt.Printf("check-metrics: ok — %d series, all %d core families present\n",
+		len(series), len(families))
+}
+
+func hasSeriesPrefix(series map[string]float64, prefix string) bool {
+	for name := range series {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasSeriesSubstring(series map[string]float64, sub string) bool {
+	for name := range series {
+		if strings.Contains(name, sub) {
+			return true
+		}
+	}
+	return false
 }
 
 func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

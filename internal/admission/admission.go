@@ -9,6 +9,7 @@ import (
 
 	"tkij/internal/core"
 	"tkij/internal/join"
+	"tkij/internal/obs"
 	"tkij/internal/query"
 	"tkij/internal/standing"
 )
@@ -197,10 +198,12 @@ func (b *Batcher) Submit(ctx context.Context, q *query.Query, mapping []int) (*c
 	if len(b.queue) >= b.opts.MaxQueue {
 		b.stats.Rejected++
 		b.mu.Unlock()
+		mRejected.Inc()
 		return nil, ErrQueueFull
 	}
 	b.queue = append(b.queue, m)
 	b.stats.Submitted++
+	mSubmitted.Inc()
 	if len(b.queue) > b.stats.QueueHighWater {
 		b.stats.QueueHighWater = len(b.queue)
 	}
@@ -366,6 +369,8 @@ func (b *Batcher) dispatch() {
 		if n > b.stats.MaxBatchSize {
 			b.stats.MaxBatchSize = n
 		}
+		mBatches.Inc()
+		mBatchSize.Observe(float64(n))
 		leftover := len(b.queue) > 0
 		b.mu.Unlock()
 		if leftover {
@@ -386,7 +391,16 @@ func (b *Batcher) dispatch() {
 // plans single-flighted per distinct key, members executed by a bounded
 // worker pool.
 func (b *Batcher) runBatch(batch []*member) {
+	// The batch lifecycle roots its own span tree: the dispatcher owns
+	// the batch, no single member context does.
+	batchSpan := b.e.Tracer().Root("batch")
+	if batchSpan != nil {
+		batchSpan.SetInt("members", int64(len(batch)))
+		defer batchSpan.Finish()
+	}
+	pinSpan := batchSpan.Child("pin")
 	pin, err := b.e.Pin()
+	pinSpan.Finish()
 	if err != nil {
 		for _, m := range batch {
 			m.done <- outcome{err: err}
@@ -395,6 +409,9 @@ func (b *Batcher) runBatch(batch []*member) {
 		return
 	}
 	defer pin.Release()
+	if batchSpan != nil {
+		batchSpan.SetInt("epoch", pin.Epoch())
+	}
 	share := join.NewBatchShare()
 
 	// Group members by plan-identity key. Members whose (query,
@@ -437,6 +454,7 @@ func (b *Batcher) runBatch(batch []*member) {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, b.opts.Parallel)
 	if !b.e.Options().PlanCache.Disabled {
+		solveSpan := batchSpan.Child("leader-solve")
 		var leaders, followers int64
 		for _, g := range groups {
 			// Warm on behalf of a member that is still interested; a
@@ -467,6 +485,13 @@ func (b *Batcher) runBatch(batch []*member) {
 			}(lead)
 		}
 		wg.Wait()
+		if solveSpan != nil {
+			solveSpan.SetInt("leaders", leaders)
+			solveSpan.SetInt("followers", followers)
+			solveSpan.Finish()
+		}
+		mPlanLeaders.Add(leaders)
+		mPlanFollowers.Add(followers)
 		b.mu.Lock()
 		b.stats.PlanLeaders += leaders
 		b.stats.PlanFollowers += followers
@@ -485,11 +510,18 @@ func (b *Batcher) runBatch(batch []*member) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			start := time.Now()
-			rep, err := b.e.ExecutePinned(m.ctx, m.q, m.mapping, pin, share, floorKey)
+			wait := start.Sub(m.enqueued)
+			mQueueWait.ObserveDuration(wait)
+			mspan := batchSpan.Child("member")
+			if mspan != nil {
+				mspan.SetInt("queue_wait_us", wait.Microseconds())
+			}
+			rep, err := b.e.ExecutePinned(obs.WithSpan(m.ctx, mspan), m.q, m.mapping, pin, share, floorKey)
+			mspan.Finish()
 			if rep != nil {
 				rep.Batched = true
 				rep.BatchSize = len(live)
-				rep.QueueWait = start.Sub(m.enqueued)
+				rep.QueueWait = wait
 			}
 			m.done <- outcome{report: rep, err: err}
 			b.bumpCompleted(1)
@@ -505,6 +537,7 @@ func (b *Batcher) runBatch(batch []*member) {
 }
 
 func (b *Batcher) bumpCompleted(n int) {
+	mCompleted.Add(int64(n))
 	b.mu.Lock()
 	b.stats.Completed += int64(n)
 	b.mu.Unlock()

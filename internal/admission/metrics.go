@@ -1,0 +1,25 @@
+package admission
+
+import "tkij/internal/obs"
+
+// batchSizeBuckets covers the MaxBatch range in powers of two.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+var (
+	mSubmitted = obs.NewCounter("tkij_admission_submitted_total",
+		"Accepted Submit calls.")
+	mRejected = obs.NewCounter("tkij_admission_rejected_total",
+		"Submit calls refused with ErrQueueFull.")
+	mCompleted = obs.NewCounter("tkij_admission_completed_total",
+		"Members whose execution finished (successfully or not).")
+	mBatches = obs.NewCounter("tkij_admission_batches_total",
+		"Batches cut and executed.")
+	mBatchSize = obs.NewHistogram("tkij_admission_batch_size",
+		"Members per executed batch.", batchSizeBuckets)
+	mQueueWait = obs.NewHistogram("tkij_admission_queue_wait_seconds",
+		"Per-member wait from enqueue to execution start in seconds.", nil)
+	mPlanLeaders = obs.NewCounter("tkij_admission_plan_leaders_total",
+		"Distinct plan keys warmed by a batch leader (one solve each).")
+	mPlanFollowers = obs.NewCounter("tkij_admission_plan_followers_total",
+		"Members that rode a sibling's plan solve.")
+)

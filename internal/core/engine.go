@@ -14,6 +14,7 @@ import (
 	"tkij/internal/join"
 	"tkij/internal/mapreduce"
 	"tkij/internal/mmapstore"
+	"tkij/internal/obs"
 	"tkij/internal/plancache"
 	"tkij/internal/query"
 	"tkij/internal/shard"
@@ -79,6 +80,11 @@ type Options struct {
 	// certified lower bound either way); remote reducers just prune
 	// less.
 	ShardNoFloorBroadcast bool
+	// Tracer, when set, collects a span tree per query/append/push cycle
+	// for JSONL or Chrome trace-event export (tkijrun -trace-out). Nil
+	// keeps tracing fully detached: span calls collapse to nil-receiver
+	// no-ops and the execute path performs zero tracing allocations.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -581,14 +587,31 @@ func (e *Engine) Append(col int, ivs []interval.Interval) (int64, error) {
 			return 0, fmt.Errorf("core: appending invalid interval %v", iv)
 		}
 	}
+	span := e.opts.Tracer.Root("append")
+	start := time.Now()
 	epoch, hook, err := e.appendLocked(col, ivs)
 	if err != nil {
+		if span != nil {
+			span.SetStr("error", err.Error())
+			span.Finish()
+		}
 		return 0, err
 	}
 	// The hook fires after the epoch is published and the engine lock
-	// is released, so it may pin the fresh epoch immediately.
+	// is released, so it may pin the fresh epoch immediately. The
+	// standing manager's push cycles run from this nudge, so the append
+	// span (and latency histogram) deliberately includes it.
 	if hook != nil {
 		hook()
+	}
+	mAppends.Inc()
+	mAppendIntervals.Add(int64(len(ivs)))
+	mAppendSeconds.ObserveDuration(time.Since(start))
+	if span != nil {
+		span.SetInt("col", int64(col))
+		span.SetInt("intervals", int64(len(ivs)))
+		span.SetInt("epoch", epoch)
+		span.Finish()
 	}
 	return epoch, nil
 }
@@ -664,6 +687,54 @@ func (e *Engine) Epoch() int64 {
 // solver-work cost.
 func (e *Engine) PlanCacheStats() plancache.Stats {
 	return e.plans.Stats()
+}
+
+// Tracer returns the engine's attached span tracer (nil when tracing
+// is detached).
+func (e *Engine) Tracer() *obs.Tracer {
+	return e.opts.Tracer
+}
+
+// StoreViewStats snapshots the bucket store's live-view accounting
+// (zero value before preparation).
+func (e *Engine) StoreViewStats() store.ViewStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.store == nil {
+		return store.ViewStats{}
+	}
+	return e.store.ViewStats()
+}
+
+// StoreStats snapshots the bucket store's structural counters (zero
+// value before preparation).
+func (e *Engine) StoreStats() store.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.store == nil {
+		return store.Stats{}
+	}
+	return e.store.Snapshot()
+}
+
+// Health reports whether the engine can currently admit queries: nil
+// when healthy, otherwise the condition poisoning admission — a mapped
+// snapshot whose background verification found damage, or a faulted
+// shard cluster. obs.Serve's /healthz endpoint surfaces it.
+func (e *Engine) Health() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mapped != nil {
+		if err := e.mapped.Err(); err != nil {
+			return fmt.Errorf("mapped snapshot failed verification: %w", err)
+		}
+	}
+	if e.cluster != nil {
+		if err := e.cluster.Health(); err != nil {
+			return fmt.Errorf("shard cluster faulted: %w", err)
+		}
+	}
+	return nil
 }
 
 // ErrCanceled marks an execution aborted between phases because its
@@ -1039,6 +1110,42 @@ func (e *Engine) ExecutePinnedK(ctx context.Context, q *query.Query, mapping []i
 func (e *Engine) executePinned(ctx context.Context, q *query.Query, mapping []int, pin *Pin,
 	share *join.BatchShare, floorKey string, k int) (*Report, error) {
 
+	// Span selection: under admission each member's context carries its
+	// member span, so the execution nests there; a direct call roots a
+	// fresh query span on the engine tracer. Both are nil (free) when no
+	// tracer is attached.
+	span := obs.SpanFrom(ctx)
+	if span != nil {
+		span = span.Child("execute")
+	} else {
+		span = e.opts.Tracer.Root("query")
+	}
+	report, err := e.executePinnedSpanned(obs.WithSpan(ctx, span), q, mapping, pin, share, floorKey, k)
+	if err != nil {
+		mQueryErrors.Inc()
+		if span != nil {
+			span.SetStr("error", err.Error())
+		}
+	} else {
+		mQueries.Inc()
+		mQuerySeconds.ObserveDuration(report.Total)
+		mPhaseTopBuckets.ObserveDuration(report.TopBucketsTime)
+		mPhaseDistribute.ObserveDuration(report.DistributeTime)
+		mPhaseJoin.ObserveDuration(report.JoinTime)
+		mPhaseMerge.ObserveDuration(report.MergeTime)
+		if span != nil {
+			span.SetInt("epoch", report.Epoch)
+			span.SetInt("k", int64(k))
+			span.SetInt("results", int64(len(report.Results)))
+		}
+	}
+	span.Finish()
+	return report, err
+}
+
+func (e *Engine) executePinnedSpanned(ctx context.Context, q *query.Query, mapping []int, pin *Pin,
+	share *join.BatchShare, floorKey string, k int) (*Report, error) {
+
 	if err := checkCtx(ctx, "planning"); err != nil {
 		return nil, err
 	}
@@ -1058,9 +1165,23 @@ func (e *Engine) executePinned(ctx context.Context, q *query.Query, mapping []in
 	// plan incrementally instead of replanning from scratch. Batched
 	// executions usually hit here outright: their batch's plan leader
 	// already warmed the entry at this exact epoch (PlanPinned).
+	planSpan := obs.SpanFrom(ctx).Child("plan")
 	planned, err := e.plans.Plan(e.planRequest(q, mapping, vertexMs, pin, k))
 	if err != nil {
+		planSpan.Finish()
 		return nil, err
+	}
+	switch planned.Outcome {
+	case plancache.Hit:
+		mPlanHit.Inc()
+	case plancache.Revalidated:
+		mPlanRevalidated.Inc()
+	default:
+		mPlanMiss.Inc()
+	}
+	if planSpan != nil {
+		planSpan.SetStr("outcome", planned.Outcome.String())
+		planSpan.Finish()
 	}
 	tb := planned.TopBuckets
 	assign := planned.Assignment
@@ -1087,9 +1208,13 @@ func (e *Engine) executePinned(ctx context.Context, q *query.Query, mapping []in
 	localOpts.Share = share
 	localOpts.FloorKey = floorKey
 	storeBefore := st.Snapshot()
-	out, err := join.RunWith(ctx, q, srcs, grans, tb.Selected, assign, k,
+	// The join span rides the context into the runner, so a shard
+	// cluster hangs its scatter/gather children under it.
+	joinSpan := obs.SpanFrom(ctx).Child("join")
+	out, err := join.RunWith(obs.WithSpan(ctx, joinSpan), q, srcs, grans, tb.Selected, assign, k,
 		mapreduce.Config{Mappers: e.opts.Mappers, Reducers: e.opts.Reducers}, localOpts,
 		mapping, pin.runner)
+	joinSpan.Finish()
 	if err != nil {
 		// Translate only genuine cancellation aborts; a real join
 		// failure that merely races a deadline must surface as itself.
@@ -1154,14 +1279,20 @@ func (e *Engine) ProbePinned(ctx context.Context, q *query.Query, mapping []int,
 	if localOpts.Floor < floor {
 		localOpts.Floor = floor
 	}
-	out, err := join.RunWith(ctx, q, srcs, grans, combos, assign, k,
+	probeSpan := obs.SpanFrom(ctx).Child("probe")
+	if probeSpan != nil {
+		probeSpan.SetInt("combos", int64(len(combos)))
+	}
+	out, err := join.RunWith(obs.WithSpan(ctx, probeSpan), q, srcs, grans, combos, assign, k,
 		mapreduce.Config{Mappers: e.opts.Mappers, Reducers: e.opts.Reducers}, localOpts,
 		mapping, pin.runner)
+	probeSpan.Finish()
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
 			return nil, fmt.Errorf("core: %w during probe: %w", ErrCanceled, cerr)
 		}
 		return nil, err
 	}
+	mProbes.Inc()
 	return out, nil
 }

@@ -200,6 +200,7 @@ func All(ctx context.Context, cfg Config) ([]*Table, error) {
 		{"mmap", Mmap},
 		{"shards", Shards},
 		{"standing", Standing},
+		{"obs", Obs},
 	}
 	var all []*Table
 	for _, r := range runners {
@@ -239,6 +240,7 @@ func ByID(ctx context.Context, id string, cfg Config) ([]*Table, error) {
 		"mmap":      Mmap,
 		"shards":    Shards,
 		"standing":  Standing,
+		"obs":       Obs,
 	}
 	fn, ok := drivers[id]
 	if !ok {

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"tkij/internal/core"
+	"tkij/internal/datagen"
+	"tkij/internal/distribute"
+	"tkij/internal/interval"
+	"tkij/internal/obs"
+	"tkij/internal/query"
+	"tkij/internal/rtree"
+	"tkij/internal/scoring"
+	"tkij/internal/standing"
+	"tkij/internal/topbuckets"
+)
+
+// Obs measures the cost of the observability layer on the two serving
+// hot paths instrumentation rides closest to the metal: the plan-cache
+// hit (where the planning phases collapse to a cache lookup, so any
+// instrumentation overhead is proportionally largest) and the standing
+// incremental push (append-to-delta latency). Counters and histograms
+// are always on — atomics only — so the detached/attached split
+// isolates span tracing (Options.Tracer), the one opt-in part. The
+// allocation table proves the detachment contract: recording into
+// counters and histograms, walking the full span API without a tracer,
+// and the warm store probe sweep all allocate nothing with the
+// instrumentation compiled in.
+func Obs(ctx context.Context, cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.size(20000)
+	k := cfg.k(100)
+	const g = 40
+
+	mkEngine := func(seedBase int64, tracer *obs.Tracer) (*core.Engine, error) {
+		cols := []*interval.Collection{
+			datagen.Uniform("C1", n, seedBase), datagen.Uniform("C2", n, seedBase+1), datagen.Uniform("C3", n, seedBase+2),
+		}
+		e, err := core.NewEngine(cols, core.Options{
+			Granules: g, K: k, Reducers: cfg.Reducers, Mappers: cfg.Mappers,
+			Strategy: topbuckets.Loose, Distribution: distribute.AlgDTB,
+			Tracer: tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return e, e.PrepareStats()
+	}
+	// Identical datasets so the two modes execute the same work; the only
+	// difference is the attached tracer.
+	detached, err := mkEngine(211, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer detached.Close()
+	attached, err := mkEngine(211, obs.NewTracer())
+	if err != nil {
+		return nil, err
+	}
+	defer attached.Close()
+
+	env := query.Env{Params: scoring.P1}
+	q := queriesByName(env, "Qo,m")[0]
+
+	t1 := &Table{
+		ID: "obs-overhead",
+		Title: fmt.Sprintf("Span-tracing overhead on serving hot paths (|Ci|=%d, k=%d, g=%d)",
+			n, k, g),
+		Columns: []string{"path", "mode", "samples", "p50(ms)", "p95(ms)", "p50-regress(%)"},
+		Note:    "detached = Options.Tracer nil (the production default); attached = tracer collecting full span trees; samples interleave the two modes to cancel drift",
+	}
+
+	// Plan-cache hit path: warm each engine's plan once, then time
+	// repeated executes. Rounds alternate which mode runs first so
+	// neither side systematically pays the scheduler-warm-up cost.
+	const hitRounds = 120
+	for _, e := range []*core.Engine{detached, attached} {
+		if _, err := e.Execute(ctx, q); err != nil {
+			return nil, err
+		}
+	}
+	var hitDet, hitAtt []float64
+	timeHit := func(e *core.Engine, out *[]float64) error {
+		r, err := e.Execute(ctx, q)
+		if err != nil {
+			return err
+		}
+		if r.PlanOutcome() != "hit" {
+			return fmt.Errorf("obs: expected a plan-cache hit, got %s", r.PlanOutcome())
+		}
+		*out = append(*out, float64(r.Total))
+		return nil
+	}
+	for r := 0; r < hitRounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		order := []func() error{
+			func() error { return timeHit(detached, &hitDet) },
+			func() error { return timeHit(attached, &hitAtt) },
+		}
+		if r%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, run := range order {
+			if err := run(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	appendOverheadRows(t1, "plancache-hit", hitDet, hitAtt)
+	cfg.logf("  obs plancache-hit: detached p50 %s ms, attached p50 %s ms",
+		ms(time.Duration(percentile(hitDet, 0.50))), ms(time.Duration(percentile(hitAtt, 0.50))))
+
+	// Standing push path: one subscription per engine, identical append
+	// batches, push latency = append-to-caught-up-delta wall time.
+	const pushAppends = 24
+	batchSize := n / 200
+	if batchSize < 10 {
+		batchSize = 10
+	}
+	type side struct {
+		e   *core.Engine
+		m   *standing.Manager
+		sub *standing.Subscription
+		tk  *standing.TopK
+	}
+	mkSide := func(e *core.Engine) (*side, error) {
+		m := standing.NewManager(e, standing.Options{})
+		sub, err := m.Subscribe(ctx, q, k, standing.SubOptions{Buffer: 64})
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		return &side{e: e, m: m, sub: sub, tk: standing.NewTopK(k)}, nil
+	}
+	drain := func(s *side, epoch int64) error {
+		for s.tk.Seq == 0 || s.tk.Epoch < epoch {
+			d, ok := <-s.sub.Deltas()
+			if !ok {
+				return fmt.Errorf("obs: subscription closed: %v", s.sub.Err())
+			}
+			if err := s.tk.Apply(d); err != nil {
+				return fmt.Errorf("obs: apply delta seq %d: %v", d.Seq, err)
+			}
+		}
+		return nil
+	}
+	sides := make([]*side, 2)
+	for i, e := range []*core.Engine{detached, attached} {
+		s, err := mkSide(e)
+		if err != nil {
+			return nil, err
+		}
+		defer s.m.Close()
+		defer s.sub.Close()
+		if err := drain(s, e.Epoch()); err != nil {
+			return nil, err
+		}
+		sides[i] = s
+	}
+	span := int64(datagen.UniformStartMax)
+	nextID := int64(30_000_000)
+	mkBatch := func(seed int64) []interval.Interval {
+		b := make([]interval.Interval, batchSize)
+		width := span / 8 // medium locality: mostly incremental pushes
+		for i := range b {
+			s := (seed*7919 + int64(i)*104729) % width
+			b[i] = interval.Interval{ID: nextID, Start: s, End: s + 50 + (s % 400)}
+			nextID++
+		}
+		return b
+	}
+	var pushDet, pushAtt []float64
+	for a := 0; a < pushAppends; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch := mkBatch(int64(a + 1))
+		first, second := 0, 1
+		if a%2 == 1 {
+			first, second = 1, 0
+		}
+		for _, i := range []int{first, second} {
+			s := sides[i]
+			start := time.Now()
+			epoch, err := s.e.Append(a%3, batch)
+			if err != nil {
+				return nil, err
+			}
+			if err := drain(s, epoch); err != nil {
+				return nil, err
+			}
+			wall := float64(time.Since(start))
+			if i == 0 {
+				pushDet = append(pushDet, wall)
+			} else {
+				pushAtt = append(pushAtt, wall)
+			}
+		}
+	}
+	appendOverheadRows(t1, "standing-push", pushDet, pushAtt)
+	cfg.logf("  obs standing-push: detached p50 %s ms, attached p50 %s ms",
+		ms(time.Duration(percentile(pushDet, 0.50))), ms(time.Duration(percentile(pushAtt, 0.50))))
+
+	// The detachment contract, measured: with the instrumentation
+	// compiled in but no exporter or tracer attached, recording and the
+	// warm serving paths allocate nothing.
+	t2 := &Table{
+		ID:      "obs-allocs",
+		Title:   "Allocations per operation with instrumentation compiled in but detached",
+		Columns: []string{"operation", "allocs/op"},
+		Note:    "counter/histogram recording is atomics-only; the span API is nil-receiver no-ops without a tracer; probe-sweep = SearchBucket over every bucket of all collections on the warm detached engine",
+	}
+	ctr := new(obs.Counter)
+	hist := obs.NewUnregisteredHistogram(nil)
+	var nilTracer *obs.Tracer
+	allocs := []struct {
+		op string
+		fn func()
+	}{
+		{"counter-inc", func() { ctr.Inc() }},
+		{"histogram-observe", func() { hist.Observe(0.0042) }},
+		{"detached-span-tree", func() {
+			root := nilTracer.Root("query")
+			child := root.Child("plan")
+			child.SetInt("k", int64(k))
+			child.SetStr("outcome", "hit")
+			sctx := obs.WithSpan(ctx, child)
+			obs.SpanFrom(sctx).Finish()
+			root.Finish()
+		}},
+	}
+	for _, a := range allocs {
+		per := testing.AllocsPerRun(1000, a.fn)
+		if per != 0 {
+			return nil, fmt.Errorf("obs: %s allocated %.1f/op detached; the contract is zero", a.op, per)
+		}
+		t2.Rows = append(t2.Rows, []string{a.op, fmt.Sprintf("%.1f", per)})
+	}
+	view := detached.Store().View()
+	box := rtree.Everything()
+	var visited int
+	fn := func(ref int32) bool { visited++; return true }
+	sweep := func() {
+		for ci := 0; ci < 3; ci++ {
+			cv := view.Col(ci)
+			for s := 0; s < g; s++ {
+				for e := s; e < g; e++ {
+					cv.SearchBucket(s, e, box, fn)
+				}
+			}
+		}
+	}
+	sweep() // warm: memoized indexes build here, outside the measurement
+	sweepAllocs := testing.AllocsPerRun(20, sweep)
+	view.Release()
+	if visited == 0 {
+		return nil, fmt.Errorf("obs: probe sweep visited nothing")
+	}
+	if sweepAllocs != 0 {
+		return nil, fmt.Errorf("obs: warm probe sweep allocated %.1f/run detached; the contract is zero", sweepAllocs)
+	}
+	t2.Rows = append(t2.Rows, []string{"probe-sweep", fmt.Sprintf("%.1f", sweepAllocs)})
+	cfg.logf("  obs allocs: all detached paths 0.0/op")
+
+	return []*Table{t1, t2}, nil
+}
+
+// appendOverheadRows adds the detached/attached row pair for one hot
+// path, with the attached row carrying the p50 regression against the
+// detached baseline.
+func appendOverheadRows(t *Table, path string, det, att []float64) {
+	d50, d95 := percentile(det, 0.50), percentile(det, 0.95)
+	a50, a95 := percentile(att, 0.50), percentile(att, 0.95)
+	regress := 0.0
+	if d50 > 0 {
+		regress = (a50 - d50) / d50 * 100
+	}
+	t.Rows = append(t.Rows,
+		[]string{path, "detached", fmt.Sprintf("%d", len(det)), ms(time.Duration(d50)), ms(time.Duration(d95)), "-"},
+		[]string{path, "attached", fmt.Sprintf("%d", len(att)), ms(time.Duration(a50)), ms(time.Duration(a95)), fmt.Sprintf("%+.2f", regress)},
+	)
+}
+
+// percentile returns the p-quantile of samples by nearest-rank on a
+// sorted copy.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}

@@ -37,6 +37,7 @@ func DefaultScope() []string {
 		"tkij/internal/standing",
 		"tkij/internal/distribute",
 		"tkij/internal/experiments",
+		"tkij/internal/obs",
 	}
 }
 

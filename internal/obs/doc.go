@@ -1,0 +1,15 @@
+// Package obs is the engine's stdlib-only observability layer:
+// a concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// latency histograms with quantile estimates), lightweight per-query
+// span tracing exportable as JSONL or Chrome trace-event JSON, and an
+// opt-in debug HTTP server (Prometheus-text /metrics, JSON /varz,
+// /healthz, net/http/pprof).
+//
+// The overhead contract: every recording method is safe and free on a
+// nil receiver. Counters/gauges/histograms are package vars backed by
+// atomics — always lock-free and allocation-free. Tracing allocates
+// only when a *Tracer is attached; detached (nil tracer) span trees
+// collapse to nil-pointer method calls and context pass-throughs, so
+// the warm probe sweep stays at 0 allocs/op with instrumentation
+// compiled in. INVARIANTS.md records this as a tested invariant.
+package obs

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the le semantics: a value exactly equal to
+// a bound lands in that bound's bucket, just above goes to the next.
+func TestBucketBoundaries(t *testing.T) {
+	h := NewUnregisteredHistogram([]float64{1, 2, 4})
+	obs := []float64{0.5, 1, 1.0000001, 2, 4, 4.5, 100}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 2} // le=1: {0.5,1}; le=2: {1.0000001,2}; le=4: {4}; +Inf: {4.5,100}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != int64(len(obs)) {
+		t.Errorf("count = %d, want %d", s.Count, len(obs))
+	}
+	sum := 0.0
+	for _, v := range obs {
+		sum += v
+	}
+	if math.Abs(s.Sum-sum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, sum)
+	}
+}
+
+func TestAscendingBoundsEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewUnregisteredHistogram([]float64{1, 1})
+}
+
+func TestQuantiles(t *testing.T) {
+	h := NewUnregisteredHistogram([]float64{10, 20, 30, 40})
+	// 100 uniform observations in (0, 40]: 25 per bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-20) > 1.0 {
+		t.Errorf("p50 = %v, want ~20", q)
+	}
+	if q := h.Quantile(0.95); math.Abs(q-38) > 1.0 {
+		t.Errorf("p95 = %v, want ~38", q)
+	}
+	if q := h.Quantile(0.99); math.Abs(q-39.6) > 1.0 {
+		t.Errorf("p99 = %v, want ~39.6", q)
+	}
+	if q := h.Quantile(1.0); q != 40 {
+		t.Errorf("p100 = %v, want 40", q)
+	}
+}
+
+func TestQuantileEmptyAndOverflow(t *testing.T) {
+	h := NewUnregisteredHistogram([]float64{1, 2})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty p50 = %v, want 0", q)
+	}
+	h.Observe(100) // +Inf bucket only
+	if q := h.Quantile(0.5); q != 2 {
+		t.Errorf("overflow p50 = %v, want last finite bound 2", q)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewUnregisteredHistogram(nil)
+	h.ObserveDuration(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if math.Abs(s.Sum-0.003) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.003", s.Sum)
+	}
+}
+
+// TestConcurrentObserveSnapshot exercises the lock-free paths under
+// -race: parallel observers against a snapshotting reader.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	h := NewUnregisteredHistogram(nil)
+	var wg sync.WaitGroup
+	const perG, goroutines = 2000, 8
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(0.002)
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		s := h.Snapshot()
+		tot := int64(0)
+		for _, c := range s.Counts {
+			tot += c
+		}
+		if tot > int64(perG*goroutines) {
+			t.Fatalf("bucket total %d exceeds observations", tot)
+		}
+		_ = s.Quantile(0.99)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != perG*goroutines {
+		t.Fatalf("count = %d, want %d", s.Count, perG*goroutines)
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText is a minimal Prometheus text-format (0.0.4) parser used by
+// tests and `tkijrun -check-metrics`. It returns sample values keyed
+// by the full series string (name plus label block exactly as
+// rendered, e.g. `tkij_core_phase_seconds_count{phase="join"}`) and
+// validates structure: HELP/TYPE comment shape, metric-name charset,
+// balanced quoted label values, and numeric sample values.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Only HELP/TYPE comments are produced by our writer; be
+			// lenient about others but validate the ones we know.
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 3 {
+					return nil, fmt.Errorf("line %d: malformed %s comment", lineNo, fields[1])
+				}
+				if err := checkName(fields[2]); err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				if fields[1] == "TYPE" && len(fields) >= 4 {
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return nil, fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[3])
+					}
+				}
+			}
+			continue
+		}
+		series, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		out[series] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample splits `name{labels} value [timestamp]` into the series
+// key and value.
+func parseSample(line string) (string, float64, error) {
+	// Find the end of the series part: either the closing brace or the
+	// first space before any brace.
+	seriesEnd := -1
+	if i := strings.IndexByte(line, '{'); i >= 0 && i < strings.IndexByte(line, ' ') {
+		// Label block — scan for the matching close brace honoring
+		// quoted values.
+		inQuote, esc := false, false
+		for j := i + 1; j < len(line); j++ {
+			c := line[j]
+			if esc {
+				esc = false
+				continue
+			}
+			switch c {
+			case '\\':
+				if inQuote {
+					esc = true
+				}
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					seriesEnd = j + 1
+				}
+			}
+			if seriesEnd >= 0 {
+				break
+			}
+		}
+		if seriesEnd < 0 {
+			return "", 0, fmt.Errorf("unterminated label block")
+		}
+		name := line[:i]
+		if err := checkName(name); err != nil {
+			return "", 0, err
+		}
+	} else {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", 0, fmt.Errorf("no value: %q", line)
+		}
+		seriesEnd = sp
+		if err := checkName(line[:sp]); err != nil {
+			return "", 0, err
+		}
+	}
+	series := line[:seriesEnd]
+	rest := strings.Fields(line[seriesEnd:])
+	if len(rest) == 0 {
+		return "", 0, fmt.Errorf("no value: %q", line)
+	}
+	v, err := strconv.ParseFloat(rest[0], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value %q: %v", rest[0], err)
+	}
+	return series, v, nil
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("tkij_test_total", "test counter", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only rise
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("tkij_test_gauge", "test gauge", nil)
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(10)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("tkij_dup_total", "x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	r.NewCounter("tkij_dup_total", "x", nil)
+}
+
+func TestLabeledSeriesShareFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("tkij_phase_total", "phases", Labels{"phase": "join"})
+	b := r.NewCounter("tkij_phase_total", "phases", Labels{"phase": "merge"})
+	a.Add(2)
+	b.Add(3)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if strings.Count(text, "# TYPE tkij_phase_total counter") != 1 {
+		t.Fatalf("want exactly one TYPE line per family, got:\n%s", text)
+	}
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, text)
+	}
+	if samples[`tkij_phase_total{phase="join"}`] != 2 {
+		t.Fatalf("join sample missing: %v", samples)
+	}
+	if samples[`tkij_phase_total{phase="merge"}`] != 3 {
+		t.Fatalf("merge sample missing: %v", samples)
+	}
+}
+
+func TestWriteTextRoundTripsThroughParse(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("tkij_a_total", "a", nil).Add(7)
+	r.NewGauge("tkij_b", "b", nil).Set(0.25)
+	r.NewGaugeFunc("tkij_c", "c", nil, func() float64 { return 42 })
+	h := r.NewHistogram("tkij_lat_seconds", "latency", nil, []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, sb.String())
+	}
+	want := map[string]float64{
+		"tkij_a_total":                       7,
+		"tkij_b":                             0.25,
+		"tkij_c":                             42,
+		`tkij_lat_seconds_bucket{le="0.01"}`: 1,
+		`tkij_lat_seconds_bucket{le="0.1"}`:  1,
+		`tkij_lat_seconds_bucket{le="1"}`:    2,
+		`tkij_lat_seconds_bucket{le="+Inf"}`: 3,
+		"tkij_lat_seconds_count":             3,
+	}
+	for k, v := range want {
+		if samples[k] != v {
+			t.Errorf("%s = %v, want %v", k, samples[k], v)
+		}
+	}
+	if got := samples["tkij_lat_seconds_sum"]; got < 5.5 || got > 5.51 {
+		t.Errorf("sum = %v, want ~5.505", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("tkij_esc_total", "e", Labels{"q": `a"b\c` + "\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("escaped output must stay parseable: %v\n%s", err, sb.String())
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("tkij_conc_total", "c", nil)
+	g := r.NewGauge("tkij_conc_gauge", "g", nil)
+	h := r.NewHistogram("tkij_conc_seconds", "h", nil, nil)
+	var wg sync.WaitGroup
+	const perG, writers = 3000, 4
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.003)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := c.Value(); got != perG*writers {
+		t.Fatalf("counter = %d, want %d", got, perG*writers)
+	}
+}
+
+func TestRecordingIsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("tkij_alloc_total", "c", nil)
+	g := r.NewGauge("tkij_alloc_gauge", "g", nil)
+	h := r.NewHistogram("tkij_alloc_seconds", "h", nil, nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(1)
+		h.Observe(0.001)
+	}); n != 0 {
+		t.Fatalf("recording allocated %v allocs/op, want 0", n)
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"QueueHighWater": "queue_high_water",
+		"Hits":           "hits",
+		"DeltaItems":     "delta_items",
+		"plancache":      "plancache",
+		"MaxBatchSize":   "max_batch_size",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

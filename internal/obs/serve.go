@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Var is a named snapshot source for /varz. Fn is called at every
+// request; it should return a JSON-marshalable snapshot struct (the
+// existing store.ViewStats / plancache.Stats / admission.Stats /
+// standing.Stats values plug in directly). Vars are rendered in slice
+// order so /varz output is deterministic.
+type Var struct {
+	Name string
+	Fn   func() any
+}
+
+// ServeOptions configures the debug server.
+type ServeOptions struct {
+	// Registry to expose on /metrics; Default when nil.
+	Registry *Registry
+	// Vars are snapshot sources for /varz, also reflected into
+	// /metrics as gauges at scrape time so the two endpoints agree by
+	// construction.
+	Vars []Var
+	// Health is polled by /healthz; non-nil error means 503. A nil
+	// func reports healthy.
+	Health func() error
+}
+
+// Server is a running debug HTTP server. Close is idempotent.
+type Server struct {
+	ln     net.Listener
+	srv    *http.Server
+	closed atomic.Bool
+	done   chan struct{}
+
+	closeMu  sync.Mutex
+	closeErr error
+}
+
+// Serve starts the opt-in debug server on addr, exposing:
+//
+//	/metrics      Prometheus text: the registry plus Vars snapshots
+//	/varz         JSON snapshots from Vars
+//	/healthz      200 ok / 503 with the health error
+//	/debug/pprof  the stdlib profiler endpoints
+//
+// It returns once the listener is bound, so callers can immediately
+// scrape; request serving continues in a background goroutine until
+// Close.
+func Serve(addr string, opts ServeOptions) (*Server, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			return
+		}
+		writeVarMetrics(w, opts.Vars)
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out := make(map[string]any, len(opts.Vars))
+		for _, v := range opts.Vars {
+			out[v.Name] = v.Fn()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Health != nil {
+			if err := opts.Health(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the normal shutdown signal.
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			_ = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down gracefully, bounded by ctx: in-flight
+// requests get until ctx expires, then connections are force-closed.
+// Idempotent — later calls return the first result after shutdown has
+// completed.
+func (s *Server) Close(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
+		return s.closeErr
+	}
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Bounded shutdown expired (or ctx was already done): force.
+		_ = s.srv.Close()
+	}
+	<-s.done
+	s.closeErr = err
+	return err
+}
+
+// writeVarMetrics reflects Vars snapshot structs into Prometheus
+// gauges named tkij_<var>_<snake_field>, so /metrics carries the same
+// numbers /varz reports. Only int/uint/float fields are exported;
+// field order follows the struct definition (deterministic, no map
+// ranges).
+func writeVarMetrics(w http.ResponseWriter, vars []Var) {
+	for _, v := range vars {
+		snap := v.Fn()
+		fields := numericFields(snap)
+		for _, f := range fields {
+			name := "tkij_" + snakeCase(v.Name) + "_" + snakeCase(f.name)
+			fmt.Fprintf(w, "# HELP %s Snapshot field %s.%s.\n", name, v.Name, f.name)
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s %s\n", name, formatValue(f.value))
+		}
+	}
+}

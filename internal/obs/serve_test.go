@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// viewStatsLike mirrors the shape of the engine's snapshot structs to
+// test the /varz -> /metrics bridge without importing them.
+type viewStatsLike struct {
+	Live      int64
+	HighWater int64
+}
+
+func startTestServer(t *testing.T, opts ServeOptions) *Server {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
+	return s
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("tkij_serve_test_total", "t", nil).Add(9)
+	healthErr := error(nil)
+	s := startTestServer(t, ServeOptions{
+		Registry: reg,
+		Vars: []Var{
+			{Name: "store", Fn: func() any { return viewStatsLike{Live: 3, HighWater: 7} }},
+		},
+		Health: func() error { return healthErr },
+	})
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics code = %d", code)
+	}
+	samples, err := ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics not parseable: %v\n%s", err, body)
+	}
+	if samples["tkij_serve_test_total"] != 9 {
+		t.Errorf("registry counter missing from /metrics: %v", samples)
+	}
+	// /varz snapshot fields appear as bridged gauges.
+	if samples["tkij_store_live"] != 3 || samples["tkij_store_high_water"] != 7 {
+		t.Errorf("/varz bridge missing from /metrics: %v", samples)
+	}
+
+	code, body = get(t, base+"/varz")
+	if code != 200 {
+		t.Fatalf("/varz code = %d", code)
+	}
+	if !strings.Contains(body, `"HighWater": 7`) {
+		t.Errorf("/varz body = %s", body)
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthErr = errors.New("mmap verify failed")
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "mmap verify failed") {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline code = %d", code)
+	}
+}
+
+func TestCloseIdempotentAndGoroutineClean(t *testing.T) {
+	// Warm up the http internals so background pool goroutines don't
+	// count as leaks.
+	warm := startTestServer(t, ServeOptions{Registry: NewRegistry()})
+	get(t, "http://"+warm.Addr()+"/healthz")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = warm.Close(ctx)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		s, err := Serve("127.0.0.1:0", ServeOptions{Registry: NewRegistry()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		get(t, "http://"+s.Addr()+"/healthz")
+		if err := s.Close(ctx); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+		// Idempotent: second and third Close return without hanging.
+		if err := s.Close(ctx); err != nil {
+			t.Fatalf("re-close %d: %v", i, err)
+		}
+		_ = s.Close(ctx)
+	}
+	// Goroutine-leak assertion: allow slack for runtime/network pollers
+	// but catch a per-server leak (5 servers would leak ≥5).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestCloseBoundedByContext(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", ServeOptions{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: Shutdown returns ctx.Err, force-close path runs
+	start := time.Now()
+	_ = s.Close(ctx)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close with expired ctx took %v, want fast force-close", elapsed)
+	}
+	// The serve goroutine must have exited.
+	select {
+	case <-s.done:
+	default:
+		t.Fatal("serve goroutine still running after Close")
+	}
+}
+
+func TestNumericFields(t *testing.T) {
+	type snap struct {
+		A      int
+		B      uint32
+		C      float64
+		Skip   string
+		hidden int64
+		D      int64
+	}
+	_ = snap{hidden: 0}
+	fields := numericFields(snap{A: 1, B: 2, C: 3.5, Skip: "x", D: 4})
+	want := []numField{{"A", 1}, {"B", 2}, {"C", 3.5}, {"D", 4}}
+	if len(fields) != len(want) {
+		t.Fatalf("fields = %v, want %v", fields, want)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Fatalf("field %d = %v, want %v", i, fields[i], want[i])
+		}
+	}
+	if numericFields(nil) != nil {
+		t.Fatal("nil input must yield nil")
+	}
+	if got := numericFields(&snap{A: 9}); len(got) == 0 || got[0].value != 9 {
+		t.Fatalf("pointer deref failed: %v", got)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999", ServeOptions{}); err == nil {
+		t.Fatal("expected listen error")
+	}
+}
+
+func ExampleServe() {
+	reg := NewRegistry()
+	reg.NewCounter("tkij_example_total", "example", nil).Inc()
+	s, err := Serve("127.0.0.1:0", ServeOptions{Registry: reg})
+	if err != nil {
+		fmt.Println("listen:", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	defer s.Close(ctx)
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		fmt.Println("get:", err)
+		return
+	}
+	defer resp.Body.Close()
+	fmt.Println(resp.StatusCode)
+	// Output: 200
+}

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects span trees for later export. A nil *Tracer is the
+// detached state: Root returns a nil *Span, every *Span method is
+// nil-safe, and the whole instrumentation path performs zero
+// allocations — the contract the hot join path relies on.
+type Tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	roots   []*Span
+	nextTID int64
+	dropped atomic.Int64
+	limit   int
+}
+
+// DefaultTraceLimit bounds retained root spans per tracer so a
+// long-lived serving process cannot grow without bound; further roots
+// are counted as dropped.
+const DefaultTraceLimit = 4096
+
+// NewTracer returns a tracer retaining up to DefaultTraceLimit root
+// spans.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now(), limit: DefaultTraceLimit}
+}
+
+// Dropped reports how many root spans were discarded due to the
+// retention limit.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Root starts a new top-level span. Returns nil on a nil tracer.
+func (t *Tracer) Root(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	if t.limit > 0 && len(t.roots) >= t.limit {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return nil
+	}
+	t.nextTID++
+	tid := t.nextTID
+	s := &Span{tracer: t, tid: tid, name: name, start: time.Now()}
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span is one timed region. All methods are safe on a nil receiver and
+// safe for concurrent use (children may be added from scatter/gather
+// goroutines).
+type Span struct {
+	tracer *Tracer
+	tid    int64
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	finished bool
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key string
+	i   int64
+	f   float64
+	s   string
+	typ byte // 'i', 'f', 's'
+}
+
+// Child starts a nested span. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, tid: s.tid, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, i: v, typ: 'i'})
+	s.mu.Unlock()
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, f: v, typ: 'f'})
+	s.mu.Unlock()
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, s: v, typ: 's'})
+	s.mu.Unlock()
+}
+
+// Finish stamps the end time. Idempotent; later calls keep the first
+// stamp.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.finished {
+		s.finished = true
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the span length (until now if unfinished).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return s.end.Sub(s.start)
+	}
+	return time.Since(s.start)
+}
+
+// spanKey is the context key for the current span. A zero-size key
+// type keeps context.WithValue from allocating for the key itself.
+type spanKey struct{}
+
+// WithSpan returns a context carrying s. For a nil span it returns ctx
+// unchanged, so the detached path allocates nothing.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// snapshotLocked copies the mutable parts of a span under its lock.
+func (s *Span) snapshot() (end time.Time, finished bool, attrs []attr, children []*Span) {
+	s.mu.Lock()
+	end, finished = s.end, s.finished
+	attrs = append([]attr(nil), s.attrs...)
+	children = append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	return
+}
+
+// jsonSpan is the JSONL export row.
+type jsonSpan struct {
+	Name    string         `json:"name"`
+	TID     int64          `json:"tid"`
+	Depth   int            `json:"depth"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+func (s *Span) attrMap(attrs []attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		switch a.typ {
+		case 'i':
+			m[a.key] = a.i
+		case 'f':
+			m[a.key] = a.f
+		default:
+			m[a.key] = a.s
+		}
+	}
+	return m
+}
+
+func (t *Tracer) snapshotRoots() []*Span {
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	return roots
+}
+
+// WriteJSONL writes one JSON object per span, roots in start order,
+// children depth-first pre-order under their parent.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var walk func(s *Span, depth int) error
+	walk = func(s *Span, depth int) error {
+		end, finished, attrs, children := s.snapshot()
+		if !finished {
+			end = time.Now()
+		}
+		row := jsonSpan{
+			Name:    s.name,
+			TID:     s.tid,
+			Depth:   depth,
+			StartUS: s.start.Sub(t.epoch).Microseconds(),
+			DurUS:   end.Sub(s.start).Microseconds(),
+			Attrs:   s.attrMap(attrs),
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+		for _, c := range children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range t.snapshotRoots() {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one complete ("ph":"X") trace event.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the span trees in Chrome trace-event JSON
+// ({"traceEvents":[...]}), loadable in chrome://tracing and Perfetto.
+// Each root span maps to its own tid so concurrent queries render as
+// separate rows.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	var events []chromeEvent
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		end, finished, attrs, children := s.snapshot()
+		if !finished {
+			end = time.Now()
+		}
+		events = append(events, chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			TS:   s.start.Sub(t.epoch).Microseconds(),
+			Dur:  end.Sub(s.start).Microseconds(),
+			PID:  1,
+			TID:  s.tid,
+			Args: s.attrMap(attrs),
+		})
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	for _, r := range t.snapshotRoots() {
+		walk(r)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile writes the tracer to w — JSONL when jsonl is set,
+// Chrome trace-event JSON otherwise.
+func WriteTraceFile(t *Tracer, w io.Writer, jsonl bool) error {
+	if jsonl {
+		return t.WriteJSONL(w)
+	}
+	return t.WriteChromeTrace(w)
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanTreeOrdering(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("query")
+	plan := root.Child("plan")
+	plan.SetStr("outcome", "hit")
+	plan.Finish()
+	join := root.Child("join")
+	scatter := join.Child("scatter")
+	scatter.Finish()
+	gather := join.Child("gather")
+	gather.Finish()
+	join.Finish()
+	root.Finish()
+
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	var names []string
+	var depths []int
+	for _, ln := range lines {
+		var row struct {
+			Name  string `json:"name"`
+			Depth int    `json:"depth"`
+			DurUS int64  `json:"dur_us"`
+		}
+		if err := json.Unmarshal([]byte(ln), &row); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		names = append(names, row.Name)
+		depths = append(depths, row.Depth)
+		if row.DurUS < 0 {
+			t.Errorf("span %s has negative duration", row.Name)
+		}
+	}
+	wantNames := []string{"query", "plan", "join", "scatter", "gather"}
+	wantDepths := []int{0, 1, 1, 2, 2}
+	for i := range wantNames {
+		if i >= len(names) || names[i] != wantNames[i] || depths[i] != wantDepths[i] {
+			t.Fatalf("pre-order walk = %v %v, want %v %v", names, depths, wantNames, wantDepths)
+		}
+	}
+}
+
+func TestChromeTraceJSONValidity(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("query")
+	root.SetInt("k", 10)
+	c := root.Child("join")
+	c.SetFloat("floor", 1.5)
+	c.Finish()
+	root.Finish()
+	second := tr.Root("append")
+	second.Finish()
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("want 3 events, got %d", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s: ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TS == nil || ev.Dur == nil {
+			t.Errorf("event %s: missing ts/dur", ev.Name)
+		}
+		if ev.PID != 1 {
+			t.Errorf("event %s: pid = %d", ev.Name, ev.PID)
+		}
+	}
+	// Roots get distinct tids so concurrent queries render as rows.
+	if doc.TraceEvents[0].TID == doc.TraceEvents[2].TID {
+		t.Error("distinct roots must get distinct tids")
+	}
+	if doc.TraceEvents[0].Args["k"] != float64(10) {
+		t.Errorf("args lost: %v", doc.TraceEvents[0].Args)
+	}
+}
+
+func TestNilTracerAndSpanAreFree(t *testing.T) {
+	var tr *Tracer
+	s := tr.Root("query")
+	if s != nil {
+		t.Fatal("nil tracer must yield nil span")
+	}
+	c := s.Child("join")
+	c.SetInt("n", 1)
+	c.SetStr("a", "b")
+	c.SetFloat("f", 1)
+	c.Finish()
+	s.Finish()
+	if d := s.Duration(); d != 0 {
+		t.Fatalf("nil span duration = %v", d)
+	}
+	ctx := context.Background()
+	if got := WithSpan(ctx, nil); got != ctx {
+		t.Fatal("WithSpan(nil) must return ctx unchanged")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("SpanFrom on bare ctx must be nil")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents":[]`) {
+		t.Fatalf("nil tracer chrome output = %q", sb.String())
+	}
+}
+
+// TestDetachedSpanPathIsAllocationFree proves the ISSUE invariant: the
+// full span call pattern used on the hot path costs zero allocations
+// when no tracer is attached.
+func TestDetachedSpanPathIsAllocationFree(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		s := tr.Root("query")
+		c := s.Child("join")
+		c.SetInt("buckets", 42)
+		cctx := WithSpan(ctx, c)
+		inner := SpanFrom(cctx).Child("scatter")
+		inner.Finish()
+		c.Finish()
+		s.Finish()
+	}); n != 0 {
+		t.Fatalf("detached span path allocated %v allocs/op, want 0", n)
+	}
+}
+
+func TestWithSpanRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Root("r")
+	ctx := WithSpan(context.Background(), s)
+	if SpanFrom(ctx) != s {
+		t.Fatal("SpanFrom must return the stored span")
+	}
+}
+
+func TestTracerRetentionLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.limit = 2
+	a := tr.Root("a")
+	b := tr.Root("b")
+	c := tr.Root("c")
+	if a == nil || b == nil {
+		t.Fatal("first two roots must be retained")
+	}
+	if c != nil {
+		t.Fatal("over-limit root must be dropped (nil)")
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Root("r")
+	s.Finish()
+	d1 := s.Duration()
+	s.Finish()
+	if d2 := s.Duration(); d2 != d1 {
+		t.Fatalf("second Finish moved the end stamp: %v -> %v", d1, d2)
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"unicode"
+)
+
+// numField is one exported numeric struct field flattened for
+// /metrics rendering.
+type numField struct {
+	name  string
+	value float64
+}
+
+// numericFields extracts the exported int/uint/float fields of a
+// struct (or pointer to struct) in declaration order.
+func numericFields(v any) []numField {
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return nil
+		}
+		rv = rv.Elem()
+	}
+	if rv.Kind() != reflect.Struct {
+		return nil
+	}
+	rt := rv.Type()
+	out := make([]numField, 0, rt.NumField())
+	for i := 0; i < rt.NumField(); i++ {
+		ft := rt.Field(i)
+		if !ft.IsExported() {
+			continue
+		}
+		fv := rv.Field(i)
+		switch fv.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			out = append(out, numField{ft.Name, float64(fv.Int())})
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			out = append(out, numField{ft.Name, float64(fv.Uint())})
+		case reflect.Float32, reflect.Float64:
+			out = append(out, numField{ft.Name, fv.Float()})
+		}
+	}
+	return out
+}
+
+// snakeCase converts CamelCase / mixedCase to snake_case, keeping
+// runs of capitals together (QueueHighWater -> queue_high_water,
+// DTBSolves -> dtb_solves).
+func snakeCase(s string) string {
+	var b strings.Builder
+	runes := []rune(s)
+	for i, r := range runes {
+		if unicode.IsUpper(r) {
+			boundary := i > 0 && (!unicode.IsUpper(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1])))
+			if boundary {
+				b.WriteByte('_')
+			}
+			b.WriteRune(unicode.ToLower(r))
+		} else if r == '-' || r == ' ' || r == '.' {
+			b.WriteByte('_')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

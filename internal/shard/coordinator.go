@@ -13,6 +13,7 @@ import (
 	"tkij/internal/distribute"
 	"tkij/internal/interval"
 	"tkij/internal/join"
+	"tkij/internal/obs"
 	"tkij/internal/stats"
 	"tkij/internal/store"
 )
@@ -128,6 +129,12 @@ func (c *Cluster) health() error {
 	return c.failed
 }
 
+// Health reports the cluster's poisoned state: nil while healthy, the
+// first fault (worker lost, protocol violation, lost append) once the
+// cluster has failed. A poisoned cluster fails every execution fast
+// until the engine rebuilds it (InvalidateStore).
+func (c *Cluster) Health() error { return c.health() }
+
 func (l *link) send(f Frame) error { return l.sendSeq(f, nil) }
 
 // sendSeq encodes f, then runs pre under the link's write lock
@@ -147,6 +154,10 @@ func (l *link) sendSeq(f Frame, pre func()) error {
 		pre()
 	}
 	_, err = l.conn.Write(b)
+	if err == nil {
+		mFramesSent.Inc()
+		mShippedBytes.Add(int64(len(b)))
+	}
 	return err
 }
 
@@ -171,6 +182,7 @@ func (l *link) loop() {
 			}
 			return
 		}
+		mFramesReceived.Inc()
 		switch f := f.(type) {
 		case *ResultFrame:
 			l.c.onResult(l.idx, f)
@@ -461,6 +473,13 @@ func (c *Cluster) RunReducers(ctx context.Context, req *join.ReduceRequest) (*jo
 	// Scatter. The per-link floor seed snapshots the master at encode
 	// time; anything raised after that reaches the worker through the
 	// rebroadcaster, whose ordering sendSeq guarantees.
+	mScatters.Inc()
+	scatterSpan := obs.SpanFrom(ctx).Child("scatter")
+	if scatterSpan != nil {
+		scatterSpan.SetInt("shards", int64(len(c.links)))
+		scatterSpan.SetInt("shipped_buckets", int64(countShipped(pl.Shipped)))
+		scatterSpan.SetInt("shipped_records", int64(pl.ShippedRecords))
+	}
 	for i, l := range c.links {
 		i := i
 		qf := &QueryFrame{
@@ -494,8 +513,11 @@ func (c *Cluster) RunReducers(ctx context.Context, req *join.ReduceRequest) (*jo
 		}
 	}
 
+	scatterSpan.Finish()
+
 	// Gather: all shards, a fault, or the caller's deadline — whichever
 	// first. A failed or aborted query never yields partial results.
+	gatherSpan := obs.SpanFrom(ctx).Child("gather")
 	select {
 	case <-pq.done:
 	case <-ctx.Done():
@@ -507,9 +529,14 @@ func (c *Cluster) RunReducers(ctx context.Context, req *join.ReduceRequest) (*jo
 	frames := pq.frames
 	floorFrames := pq.floorFrames
 	pq.mu.Unlock()
+	if gatherSpan != nil {
+		gatherSpan.SetInt("floor_frames", floorFrames)
+		gatherSpan.Finish()
+	}
 	if err != nil {
 		return nil, err
 	}
+	mFloorFrames.Add(floorFrames)
 
 	// Per-reducer routed-reference accounting, mirroring the local
 	// runner's (the shuffle happened over the wire instead).
@@ -522,10 +549,9 @@ func (c *Cluster) RunReducers(ctx context.Context, req *join.ReduceRequest) (*jo
 			weights[rj] += float64(n)
 		}
 	}
-	shippedBuckets := 0
-	for _, s := range pl.Shipped {
-		shippedBuckets += len(s)
-	}
+	shippedBuckets := countShipped(pl.Shipped)
+	mShippedBuckets.Add(int64(shippedBuckets))
+	mShippedRecords.Add(int64(pl.ShippedRecords))
 	out := &join.RunnerOutput{
 		ShippedBuckets: shippedBuckets,
 		ShippedRecords: pl.ShippedRecords,

@@ -1,0 +1,33 @@
+package shard
+
+import (
+	"tkij/internal/obs"
+	"tkij/internal/stats"
+)
+
+// Coordinator-side wire and placement instruments.
+var (
+	mFramesSent = obs.NewCounter("tkij_shard_frames_sent_total",
+		"Frames written to worker links (scatter, floors, appends, loads).")
+	mFramesReceived = obs.NewCounter("tkij_shard_frames_received_total",
+		"Frames read back from worker links (results, floor uplinks, errors).")
+	mShippedBytes = obs.NewCounter("tkij_shard_shipped_bytes_total",
+		"Encoded bytes written to worker links.")
+	mShippedBuckets = obs.NewCounter("tkij_shard_shipped_buckets_total",
+		"Non-owned buckets shipped alongside scatters.")
+	mShippedRecords = obs.NewCounter("tkij_shard_shipped_records_total",
+		"Interval records inside shipped buckets.")
+	mFloorFrames = obs.NewCounter("tkij_shard_floor_frames_total",
+		"Floor broadcast frames exchanged (downlinks and uplinks).")
+	mScatters = obs.NewCounter("tkij_shard_scatters_total",
+		"Distributed executions scattered across the cluster.")
+)
+
+// countShipped totals the per-shard shipped bucket lists.
+func countShipped(shipped [][]stats.BucketKey) int {
+	n := 0
+	for _, s := range shipped {
+		n += len(s)
+	}
+	return n
+}

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"time"
 
 	"tkij/internal/core"
+	"tkij/internal/obs"
 	"tkij/internal/plancache"
 	"tkij/internal/query"
 	"tkij/internal/stats"
@@ -177,22 +179,32 @@ func (m *Manager) cycle() {
 	}
 	slices.SortFunc(live, subOrder)
 
+	cycleSpan := m.e.Tracer().Root("push-cycle")
+	start := time.Now()
 	pin, err := m.e.Pin()
 	if err != nil {
+		cycleSpan.Finish()
 		for _, s := range live {
 			s.terminate(fmt.Errorf("standing: pin for push cycle: %w", err))
 		}
 		return
 	}
 	defer pin.Release()
-	for _, s := range live {
-		m.push(s, pin)
+	if cycleSpan != nil {
+		cycleSpan.SetInt("epoch", pin.Epoch())
+		cycleSpan.SetInt("subscriptions", int64(len(live)))
 	}
+	for _, s := range live {
+		m.push(s, pin, cycleSpan)
+	}
+	mCycles.Inc()
+	mCycleSeconds.ObserveDuration(time.Since(start))
+	cycleSpan.Finish()
 }
 
 // push carries one subscription from its current pushed state to the
 // pin's epoch: promote (nothing grown), incremental probe, or resync.
-func (m *Manager) push(s *Subscription, pin *core.Pin) {
+func (m *Manager) push(s *Subscription, pin *core.Pin, cycleSpan *obs.Span) {
 	if s.ctx.Err() != nil {
 		return
 	}
@@ -218,12 +230,12 @@ func (m *Manager) push(s *Subscription, pin *core.Pin) {
 	if gen != gen0 || epoch < epoch0 {
 		// Store rebuilt (InvalidateStore) or the epoch sequence
 		// restarted: the diff base is void.
-		m.resync(s, pin)
+		m.resync(s, pin, cycleSpan)
 		return
 	}
 	diff, ok := state.Diff(vms, nil)
 	if !ok {
-		m.resync(s, pin) // granulation swap: not an append-only step
+		m.resync(s, pin, cycleSpan) // granulation swap: not an append-only step
 		return
 	}
 	if !diff.AnyGrown() {
@@ -234,6 +246,11 @@ func (m *Manager) push(s *Subscription, pin *core.Pin) {
 			Floor: floorOf(snapshot, s.k),
 		})
 		m.count(func(st *Stats) { st.Promotions++ })
+		mRoutePromote.Inc()
+		if ps := cycleSpan.Child("promote"); ps != nil {
+			ps.SetInt("epoch", epoch)
+			ps.Finish()
+		}
 		return
 	}
 
@@ -243,7 +260,7 @@ func (m *Manager) push(s *Subscription, pin *core.Pin) {
 	}
 	affected := topbuckets.CountAffected(lists, diff.Grown)
 	if affected > m.opts.MaxAffected {
-		m.resync(s, pin)
+		m.resync(s, pin, cycleSpan)
 		return
 	}
 	var combos []topbuckets.Combo
@@ -293,6 +310,16 @@ func (m *Manager) push(s *Subscription, pin *core.Pin) {
 		st.ProbedCombos += int64(len(kept))
 		st.PrunedCombos += int64(len(combos) - len(kept))
 	})
+	mRoutePush.Inc()
+	mAffectedCombos.Add(int64(len(combos)))
+	mProbedCombos.Add(int64(len(kept)))
+	mPrunedCombos.Add(int64(len(combos) - len(kept)))
+	pushSpan := cycleSpan.Child("push")
+	if pushSpan != nil {
+		pushSpan.SetInt("affected", int64(len(combos)))
+		pushSpan.SetInt("probed", int64(len(kept)))
+		defer pushSpan.Finish()
+	}
 
 	fresh := snapshot
 	if len(kept) > 0 {
@@ -300,7 +327,7 @@ func (m *Manager) push(s *Subscription, pin *core.Pin) {
 		if probeFloor < 0 {
 			probeFloor = 0
 		}
-		out, err := m.e.ProbePinned(s.ctx, s.q, s.mapping, pin, kept, s.k, probeFloor)
+		out, err := m.e.ProbePinned(obs.WithSpan(s.ctx, pushSpan), s.q, s.mapping, pin, kept, s.k, probeFloor)
 		if err != nil {
 			if s.ctx.Err() != nil {
 				return // the forwarder terminates it with the ctx cause
@@ -321,11 +348,14 @@ func (m *Manager) push(s *Subscription, pin *core.Pin) {
 
 // resync re-executes the subscription's query fresh at the pin's epoch
 // and replaces its pushed state wholesale.
-func (m *Manager) resync(s *Subscription, pin *core.Pin) {
+func (m *Manager) resync(s *Subscription, pin *core.Pin, cycleSpan *obs.Span) {
 	// The transition was outside the append-only model (or past the
 	// incremental bound): cached pair bounds may alias different boxes.
 	s.bounder.Reset()
-	rep, err := m.e.ExecutePinnedK(s.ctx, s.q, s.mapping, pin, s.k)
+	mRouteResync.Inc()
+	rsSpan := cycleSpan.Child("resync")
+	rep, err := m.e.ExecutePinnedK(obs.WithSpan(s.ctx, rsSpan), s.q, s.mapping, pin, s.k)
+	rsSpan.Finish()
 	if err != nil {
 		if s.ctx.Err() != nil {
 			return
@@ -459,6 +489,7 @@ func (m *Manager) countDropped(n int64) {
 	if n == 0 {
 		return
 	}
+	mDroppedDeltas.Add(n)
 	m.count(func(st *Stats) { st.DroppedDeltas += n })
 }
 
